@@ -1,0 +1,8 @@
+// Reproduces paper Table 3: ParaPLL with the *static* assignment policy
+// compared with serial PLL on the dataset catalog.
+#include "table34.hpp"
+
+int main(int argc, char** argv) {
+  return parapll::bench::RunTable34(
+      parapll::parallel::AssignmentPolicy::kStatic, "Table 3", argc, argv);
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Table 4: ParaPLL with the *dynamic* assignment policy
+// compared with serial PLL on the dataset catalog.
+#include "table34.hpp"
+
+int main(int argc, char** argv) {
+  return parapll::bench::RunTable34(
+      parapll::parallel::AssignmentPolicy::kDynamic, "Table 4", argc, argv);
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench regenerates one table or figure of the ParaPLL paper on the
+// synthetic dataset catalog (graph/datasets.hpp), scaled down so a full
+// run finishes on one core. `--scale` adjusts the size, `--datasets`
+// restricts to a comma-free colon-separated subset.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/parapll.hpp"
+#include "util/cli.hpp"
+
+namespace parapll::bench {
+
+struct BenchDataset {
+  graph::DatasetSpec spec;
+  graph::Graph graph;
+};
+
+// Materializes the catalog at `scale`. `filter` is a colon-separated list
+// of dataset names ("Gnutella:Epinions"); empty means all eleven.
+inline std::vector<BenchDataset> LoadDatasets(double scale,
+                                              const std::string& filter,
+                                              std::uint64_t seed = 1) {
+  std::vector<BenchDataset> out;
+  for (const auto& spec : graph::PaperCatalog()) {
+    if (!filter.empty() &&
+        (":" + filter + ":").find(":" + spec.name + ":") ==
+            std::string::npos) {
+      continue;
+    }
+    out.push_back({spec, graph::MakeDataset(spec, scale, seed)});
+  }
+  return out;
+}
+
+inline void PrintDatasetHeader(const BenchDataset& d) {
+  std::printf("\n### %s (%s; paper n=%u m=%zu; this run n=%u m=%zu)\n",
+              d.spec.name.c_str(), d.spec.graph_type.c_str(), d.spec.paper_n,
+              d.spec.paper_m, d.graph.NumVertices(), d.graph.NumEdges());
+}
+
+// Thread counts of paper Tables 3-4.
+inline std::vector<int> PaperThreadCounts() { return {1, 2, 4, 6, 8, 10, 12}; }
+
+// Node counts of paper Table 5.
+inline std::vector<int> PaperNodeCounts() { return {1, 2, 3, 4, 5, 6}; }
+
+}  // namespace parapll::bench

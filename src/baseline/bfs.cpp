@@ -1,0 +1,55 @@
+#include "baseline/bfs.hpp"
+
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace parapll::baseline {
+
+std::vector<graph::Distance> BfsAll(const graph::Graph& g,
+                                    graph::VertexId source) {
+  PARAPLL_CHECK(source < g.NumVertices());
+  std::vector<graph::Distance> dist(g.NumVertices(),
+                                    graph::kInfiniteDistance);
+  dist[source] = 0;
+  std::deque<graph::VertexId> frontier{source};
+  while (!frontier.empty()) {
+    const graph::VertexId u = frontier.front();
+    frontier.pop_front();
+    for (const graph::Arc& arc : g.Neighbors(u)) {
+      if (dist[arc.target] == graph::kInfiniteDistance) {
+        dist[arc.target] = dist[u] + 1;
+        frontier.push_back(arc.target);
+      }
+    }
+  }
+  return dist;
+}
+
+graph::Distance BfsOne(const graph::Graph& g, graph::VertexId source,
+                       graph::VertexId target) {
+  PARAPLL_CHECK(source < g.NumVertices() && target < g.NumVertices());
+  if (source == target) {
+    return 0;
+  }
+  std::vector<graph::Distance> dist(g.NumVertices(),
+                                    graph::kInfiniteDistance);
+  dist[source] = 0;
+  std::deque<graph::VertexId> frontier{source};
+  while (!frontier.empty()) {
+    const graph::VertexId u = frontier.front();
+    frontier.pop_front();
+    for (const graph::Arc& arc : g.Neighbors(u)) {
+      if (dist[arc.target] == graph::kInfiniteDistance) {
+        dist[arc.target] = dist[u] + 1;
+        if (arc.target == target) {
+          return dist[arc.target];
+        }
+        frontier.push_back(arc.target);
+      }
+    }
+  }
+  return graph::kInfiniteDistance;
+}
+
+}  // namespace parapll::baseline

@@ -1,0 +1,19 @@
+// Breadth-first search — the unweighted-graph baseline (hop counts),
+// matching the original PLL's unweighted setting.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parapll::baseline {
+
+// Hop distance (ignoring weights) from `source` to every vertex.
+std::vector<graph::Distance> BfsAll(const graph::Graph& g,
+                                    graph::VertexId source);
+
+// Hop distance from `source` to `target` with early exit.
+graph::Distance BfsOne(const graph::Graph& g, graph::VertexId source,
+                       graph::VertexId target);
+
+}  // namespace parapll::baseline

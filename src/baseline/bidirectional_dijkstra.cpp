@@ -1,0 +1,86 @@
+#include "baseline/bidirectional_dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace parapll::baseline {
+
+namespace {
+using graph::Arc;
+using graph::Distance;
+using graph::Graph;
+using graph::VertexId;
+using HeapEntry = std::pair<Distance, VertexId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+}  // namespace
+
+Distance BidirectionalDijkstra(const Graph& g, VertexId source,
+                               VertexId target) {
+  PARAPLL_CHECK(source < g.NumVertices() && target < g.NumVertices());
+  if (source == target) {
+    return 0;
+  }
+  std::vector<Distance> dist_fwd(g.NumVertices(), graph::kInfiniteDistance);
+  std::vector<Distance> dist_bwd(g.NumVertices(), graph::kInfiniteDistance);
+  dist_fwd[source] = 0;
+  dist_bwd[target] = 0;
+  MinHeap heap_fwd;
+  MinHeap heap_bwd;
+  heap_fwd.emplace(0, source);
+  heap_bwd.emplace(0, target);
+
+  Distance best = graph::kInfiniteDistance;
+  // The graph is undirected, so the backward search uses the same
+  // adjacency. Terminate when top_fwd + top_bwd >= best.
+  auto step = [&g, &best](MinHeap& heap, std::vector<Distance>& dist,
+                          const std::vector<Distance>& other) {
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      if (d > dist[u]) {
+        heap.pop();
+        continue;  // stale
+      }
+      heap.pop();
+      if (other[u] != graph::kInfiniteDistance) {
+        best = std::min(best, d + other[u]);
+      }
+      for (const Arc& arc : g.Neighbors(u)) {
+        const Distance nd = d + arc.weight;
+        if (nd < dist[arc.target]) {
+          dist[arc.target] = nd;
+          heap.emplace(nd, arc.target);
+        }
+      }
+      return;
+    }
+  };
+
+  while (!heap_fwd.empty() || !heap_bwd.empty()) {
+    Distance top_fwd = heap_fwd.empty() ? graph::kInfiniteDistance
+                                        : heap_fwd.top().first;
+    Distance top_bwd = heap_bwd.empty() ? graph::kInfiniteDistance
+                                        : heap_bwd.top().first;
+    if (top_fwd == graph::kInfiniteDistance &&
+        top_bwd == graph::kInfiniteDistance) {
+      break;
+    }
+    if (best != graph::kInfiniteDistance &&
+        (top_fwd == graph::kInfiniteDistance ? 0 : top_fwd) +
+                (top_bwd == graph::kInfiniteDistance ? 0 : top_bwd) >=
+            best) {
+      break;
+    }
+    if (top_fwd <= top_bwd) {
+      step(heap_fwd, dist_fwd, dist_bwd);
+    } else {
+      step(heap_bwd, dist_bwd, dist_fwd);
+    }
+  }
+  return best;
+}
+
+}  // namespace parapll::baseline

@@ -1,0 +1,14 @@
+// Bidirectional Dijkstra — a stronger point-to-point baseline than plain
+// Dijkstra for the query-latency comparison bench.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace parapll::baseline {
+
+// Exact point-to-point distance; kInfiniteDistance when disconnected.
+graph::Distance BidirectionalDijkstra(const graph::Graph& g,
+                                      graph::VertexId source,
+                                      graph::VertexId target);
+
+}  // namespace parapll::baseline

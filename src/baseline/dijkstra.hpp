@@ -1,0 +1,32 @@
+// Dijkstra's algorithm — the paper's querying-stage baseline and the
+// ground truth every PLL index is verified against.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parapll::baseline {
+
+using graph::Distance;
+using graph::Graph;
+using graph::VertexId;
+
+// Single-source shortest-path distances from `source` to every vertex;
+// unreachable vertices get kInfiniteDistance.
+std::vector<Distance> DijkstraAll(const Graph& g, VertexId source);
+
+// Point-to-point distance with early termination once `target` settles.
+Distance DijkstraOne(const Graph& g, VertexId source, VertexId target);
+
+// Operation counters for cost-model calibration and benchmarking.
+struct DijkstraStats {
+  std::size_t settled = 0;      // vertices popped and finalized
+  std::size_t relaxations = 0;  // edges examined
+  std::size_t pushes = 0;       // heap inserts
+};
+
+std::vector<Distance> DijkstraAllWithStats(const Graph& g, VertexId source,
+                                           DijkstraStats& stats);
+
+}  // namespace parapll::baseline

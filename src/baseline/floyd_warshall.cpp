@@ -1,0 +1,43 @@
+#include "baseline/floyd_warshall.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace parapll::baseline {
+
+DistanceMatrix::DistanceMatrix(graph::VertexId n, graph::Distance fill)
+    : n_(n), data_(static_cast<std::size_t>(n) * n, fill) {}
+
+DistanceMatrix FloydWarshall(const graph::Graph& g) {
+  const graph::VertexId n = g.NumVertices();
+  PARAPLL_CHECK_MSG(n <= 4096, "FloydWarshall is for small ground truths");
+  DistanceMatrix dist(n, graph::kInfiniteDistance);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    dist.Set(v, v, 0);
+    for (const graph::Arc& arc : g.Neighbors(v)) {
+      dist.Set(v, arc.target,
+               std::min<graph::Distance>(dist.Get(v, arc.target), arc.weight));
+    }
+  }
+  for (graph::VertexId k = 0; k < n; ++k) {
+    for (graph::VertexId i = 0; i < n; ++i) {
+      const graph::Distance dik = dist.Get(i, k);
+      if (dik == graph::kInfiniteDistance) {
+        continue;
+      }
+      for (graph::VertexId j = 0; j < n; ++j) {
+        const graph::Distance dkj = dist.Get(k, j);
+        if (dkj == graph::kInfiniteDistance) {
+          continue;
+        }
+        if (dik + dkj < dist.Get(i, j)) {
+          dist.Set(i, j, dik + dkj);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace parapll::baseline

@@ -1,0 +1,33 @@
+// Floyd–Warshall all-pairs shortest paths — O(n³) ground truth for small
+// graphs in the property-test suite.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parapll::baseline {
+
+// Dense n×n distance matrix. `Get(i, j)` is σ(P(i, j)) or infinity.
+class DistanceMatrix {
+ public:
+  DistanceMatrix(graph::VertexId n, graph::Distance fill);
+
+  [[nodiscard]] graph::Distance Get(graph::VertexId i,
+                                    graph::VertexId j) const {
+    return data_[static_cast<std::size_t>(i) * n_ + j];
+  }
+  void Set(graph::VertexId i, graph::VertexId j, graph::Distance d) {
+    data_[static_cast<std::size_t>(i) * n_ + j] = d;
+  }
+  [[nodiscard]] graph::VertexId Size() const { return n_; }
+
+ private:
+  graph::VertexId n_;
+  std::vector<graph::Distance> data_;
+};
+
+// Requires n small enough that n² distances fit in memory.
+DistanceMatrix FloydWarshall(const graph::Graph& g);
+
+}  // namespace parapll::baseline

@@ -1,0 +1,98 @@
+#include "baseline/landmark_estimator.hpp"
+
+#include <algorithm>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/degree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace parapll::baseline {
+
+LandmarkEstimator LandmarkEstimator::Build(const graph::Graph& g,
+                                           std::size_t k,
+                                           LandmarkSelection selection,
+                                           std::uint64_t seed) {
+  LandmarkEstimator estimator;
+  const graph::VertexId n = g.NumVertices();
+  k = std::min<std::size_t>(k, n);
+  switch (selection) {
+    case LandmarkSelection::kHighestDegree: {
+      const auto order = graph::DescendingDegreeOrder(g);
+      estimator.landmarks_.assign(order.begin(),
+                                  order.begin() + static_cast<long>(k));
+      break;
+    }
+    case LandmarkSelection::kRandom: {
+      util::Rng rng(seed);
+      std::vector<graph::VertexId> all(n);
+      for (graph::VertexId v = 0; v < n; ++v) {
+        all[v] = v;
+      }
+      rng.Shuffle(all);
+      estimator.landmarks_.assign(all.begin(),
+                                  all.begin() + static_cast<long>(k));
+      break;
+    }
+  }
+  estimator.distances_.reserve(k);
+  for (const graph::VertexId landmark : estimator.landmarks_) {
+    estimator.distances_.push_back(DijkstraAll(g, landmark));
+  }
+  return estimator;
+}
+
+graph::Distance LandmarkEstimator::Estimate(graph::VertexId s,
+                                            graph::VertexId t) const {
+  if (s == t) {
+    return 0;
+  }
+  graph::Distance best = graph::kInfiniteDistance;
+  for (const auto& dist : distances_) {
+    PARAPLL_DCHECK(s < dist.size() && t < dist.size());
+    if (dist[s] != graph::kInfiniteDistance &&
+        dist[t] != graph::kInfiniteDistance) {
+      best = std::min(best, dist[s] + dist[t]);
+    }
+  }
+  return best;
+}
+
+EstimatorAccuracy MeasureAccuracy(const graph::Graph& g,
+                                  const LandmarkEstimator& estimator,
+                                  std::size_t pairs, std::uint64_t seed) {
+  EstimatorAccuracy accuracy;
+  const graph::VertexId n = g.NumVertices();
+  if (n < 2) {
+    return accuracy;
+  }
+  util::Rng rng(seed);
+  double error_sum = 0.0;
+  while (accuracy.pairs < pairs) {
+    const auto s = static_cast<graph::VertexId>(rng.Below(n));
+    const auto t = static_cast<graph::VertexId>(rng.Below(n));
+    if (s == t) {
+      continue;
+    }
+    const graph::Distance exact = DijkstraOne(g, s, t);
+    if (exact == graph::kInfiniteDistance || exact == 0) {
+      continue;  // accuracy is defined over connected, distinct pairs
+    }
+    const graph::Distance estimate = estimator.Estimate(s, t);
+    PARAPLL_CHECK_MSG(estimate >= exact, "estimator must be an upper bound");
+    const double rel = static_cast<double>(estimate - exact) /
+                       static_cast<double>(exact);
+    error_sum += rel;
+    accuracy.max_relative_error = std::max(accuracy.max_relative_error, rel);
+    if (estimate == exact) {
+      ++accuracy.exact;
+    }
+    ++accuracy.pairs;
+  }
+  accuracy.mean_relative_error =
+      accuracy.pairs > 0 ? error_sum / static_cast<double>(accuracy.pairs)
+                         : 0.0;
+  return accuracy;
+}
+
+}  // namespace parapll::baseline

@@ -1,0 +1,61 @@
+// Landmark-based approximate distance estimation (Potamias et al., CIKM
+// 2009 — the paper's reference [18], whose ψ centrality motivates
+// ParaPLL's vertex ordering).
+//
+// Pick k landmarks, store one full Dijkstra distance vector per landmark,
+// and estimate d(s, t) by min over landmarks of d(l, s) + d(l, t). The
+// estimate is an *upper bound*, exact only when some landmark lies on a
+// shortest s-t path — the precursor idea that pruned landmark labeling
+// turns into an exact index. Kept here as the natural accuracy/latency
+// comparator for PLL.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parapll::baseline {
+
+enum class LandmarkSelection {
+  kHighestDegree,  // Potamias' best simple strategy on power-law graphs
+  kRandom,
+};
+
+class LandmarkEstimator {
+ public:
+  // Runs one Dijkstra per landmark; k is clamped to n.
+  static LandmarkEstimator Build(const graph::Graph& g, std::size_t k,
+                                 LandmarkSelection selection,
+                                 std::uint64_t seed = 0);
+
+  // Upper-bound estimate of d(s, t); exact iff a landmark is on a
+  // shortest path. kInfiniteDistance when no landmark reaches both.
+  [[nodiscard]] graph::Distance Estimate(graph::VertexId s,
+                                         graph::VertexId t) const;
+
+  [[nodiscard]] std::size_t NumLandmarks() const { return landmarks_.size(); }
+  [[nodiscard]] const std::vector<graph::VertexId>& Landmarks() const {
+    return landmarks_;
+  }
+
+ private:
+  std::vector<graph::VertexId> landmarks_;
+  // distances_[i][v] = exact distance from landmarks_[i] to v.
+  std::vector<std::vector<graph::Distance>> distances_;
+};
+
+// Relative-error summary of the estimator against exact distances over
+// sampled connected pairs: mean and max of (estimate - exact) / exact.
+struct EstimatorAccuracy {
+  std::size_t pairs = 0;
+  std::size_t exact = 0;       // pairs answered with zero error
+  double mean_relative_error = 0.0;
+  double max_relative_error = 0.0;
+};
+
+EstimatorAccuracy MeasureAccuracy(const graph::Graph& g,
+                                  const LandmarkEstimator& estimator,
+                                  std::size_t pairs, std::uint64_t seed);
+
+}  // namespace parapll::baseline

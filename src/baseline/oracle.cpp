@@ -1,0 +1,17 @@
+#include "baseline/oracle.hpp"
+
+#include "baseline/dijkstra.hpp"
+#include "util/check.hpp"
+
+namespace parapll::baseline {
+
+graph::Distance DistanceOracle::Query(graph::VertexId s, graph::VertexId t) {
+  PARAPLL_CHECK(s < graph_.NumVertices() && t < graph_.NumVertices());
+  auto it = cache_.find(s);
+  if (it == cache_.end()) {
+    it = cache_.emplace(s, DijkstraAll(graph_, s)).first;
+  }
+  return it->second[t];
+}
+
+}  // namespace parapll::baseline

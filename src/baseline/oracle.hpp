@@ -1,0 +1,30 @@
+// Lazy all-pairs distance oracle: Dijkstra per source, memoized.
+//
+// The verification harness compares PLL answers against this oracle on
+// sampled pairs; memoization keeps repeated sources cheap without paying
+// Floyd–Warshall's O(n²) memory on larger test graphs.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parapll::baseline {
+
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const graph::Graph& g) : graph_(g) {}
+
+  // Exact σ(P(s, t)), running (and caching) one Dijkstra per new source.
+  graph::Distance Query(graph::VertexId s, graph::VertexId t);
+
+  // Number of distinct sources computed so far.
+  [[nodiscard]] std::size_t CachedSources() const { return cache_.size(); }
+
+ private:
+  const graph::Graph& graph_;
+  std::unordered_map<graph::VertexId, std::vector<graph::Distance>> cache_;
+};
+
+}  // namespace parapll::baseline

@@ -1,0 +1,158 @@
+#include "cluster/comm.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace parapll::cluster {
+
+namespace {
+// Reserved tags for collectives, far above any user tag.
+constexpr int kBarrierUpTag = 1 << 28;
+constexpr int kBarrierDownTag = kBarrierUpTag + 1;
+constexpr int kBcastTag = kBarrierUpTag + 2;
+constexpr int kGatherTag = kBarrierUpTag + 3;
+}  // namespace
+
+Fabric::Fabric(std::size_t ranks) : mailboxes_(ranks) {
+  PARAPLL_CHECK(ranks >= 1);
+}
+
+void Fabric::Run(const std::function<void(Communicator&)>& fn) {
+  std::vector<Communicator> comms;
+  comms.reserve(Size());
+  for (std::size_t r = 0; r < Size(); ++r) {
+    comms.push_back(Communicator(*this, r));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(Size());
+  for (std::size_t r = 0; r < Size(); ++r) {
+    threads.emplace_back([&fn, &comms, r] { fn(comms[r]); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (const Communicator& comm : comms) {
+    total_bytes_sent_ += comm.bytes_sent_;
+    total_messages_sent_ += comm.messages_sent_;
+  }
+}
+
+void Fabric::Deliver(std::size_t dst, Message message) {
+  PARAPLL_CHECK(dst < mailboxes_.size());
+  Mailbox& box = mailboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(message));
+  }
+  box.arrived.notify_all();
+}
+
+Payload Fabric::Take(std::size_t rank, std::size_t src, int tag) {
+  Mailbox& box = mailboxes_[rank];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        Payload payload = std::move(it->payload);
+        box.messages.erase(it);
+        return payload;
+      }
+    }
+    box.arrived.wait(lock);
+  }
+}
+
+std::size_t Communicator::Size() const { return fabric_.Size(); }
+
+void Communicator::Send(std::size_t dst, int tag, Payload payload) {
+  PARAPLL_CHECK(dst < Size());
+  bytes_sent_ += payload.size();
+  ++messages_sent_;
+  fabric_.Deliver(dst, Fabric::Message{rank_, tag, std::move(payload)});
+}
+
+Payload Communicator::Recv(std::size_t src, int tag) {
+  PARAPLL_CHECK(src < Size());
+  return fabric_.Take(rank_, src, tag);
+}
+
+void Communicator::Barrier() {
+  // Flat gather to rank 0, then release. O(q) messages — fine for the
+  // small q the paper evaluates; time cost is modeled analytically.
+  if (rank_ == 0) {
+    for (std::size_t r = 1; r < Size(); ++r) {
+      Recv(r, kBarrierUpTag);
+    }
+    for (std::size_t r = 1; r < Size(); ++r) {
+      Send(r, kBarrierDownTag, Payload{});
+    }
+  } else {
+    Send(0, kBarrierUpTag, Payload{});
+    Recv(0, kBarrierDownTag);
+  }
+}
+
+Payload Communicator::Broadcast(std::size_t root, Payload payload) {
+  PARAPLL_CHECK(root < Size());
+  const std::size_t q = Size();
+  // Rotate ranks so the root is virtual rank 0, then binomial tree:
+  // in round k, virtual ranks < 2^k send to virtual rank + 2^k.
+  const std::size_t vrank = (rank_ + q - root) % q;
+  if (vrank != 0) {
+    // Find my parent: clear the highest set bit of vrank.
+    std::size_t high = 1;
+    while (high * 2 <= vrank) {
+      high *= 2;
+    }
+    const std::size_t vparent = vrank - high;
+    payload = Recv((vparent + root) % q, kBcastTag);
+  }
+  for (std::size_t step = 1; step < q; step *= 2) {
+    if (vrank < step && vrank + step < q) {
+      Send((vrank + step + root) % q, kBcastTag, payload);
+    }
+  }
+  return payload;
+}
+
+std::vector<Payload> Communicator::AllGather(Payload mine) {
+  const std::size_t q = Size();
+  std::vector<Payload> parts(q);
+  if (rank_ == 0) {
+    parts[0] = std::move(mine);
+    for (std::size_t r = 1; r < q; ++r) {
+      parts[r] = Recv(r, kGatherTag);
+    }
+  } else {
+    Send(0, kGatherTag, std::move(mine));
+  }
+  // Rank 0 frames all parts into one blob and tree-broadcasts it.
+  Payload blob;
+  if (rank_ == 0) {
+    for (const Payload& part : parts) {
+      const std::uint64_t len = part.size();
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(&len);
+      blob.insert(blob.end(), bytes, bytes + sizeof(len));
+      blob.insert(blob.end(), part.begin(), part.end());
+    }
+  }
+  blob = Broadcast(0, std::move(blob));
+  if (rank_ != 0) {
+    std::size_t pos = 0;
+    for (std::size_t r = 0; r < q; ++r) {
+      PARAPLL_CHECK(pos + sizeof(std::uint64_t) <= blob.size());
+      std::uint64_t len = 0;
+      std::copy_n(blob.begin() + static_cast<std::ptrdiff_t>(pos),
+                  sizeof(len), reinterpret_cast<std::uint8_t*>(&len));
+      pos += sizeof(len);
+      PARAPLL_CHECK(pos + len <= blob.size());
+      parts[r].assign(blob.begin() + static_cast<std::ptrdiff_t>(pos),
+                      blob.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+    }
+  }
+  return parts;
+}
+
+}  // namespace parapll::cluster

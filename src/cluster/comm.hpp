@@ -1,0 +1,109 @@
+// In-process message-passing fabric — the MPI substitute.
+//
+// MPI is not available in this environment, so the cluster level of
+// ParaPLL runs on this fabric: each rank is an OS thread with a private
+// mailbox; Send/Recv move byte payloads between mailboxes with
+// (source, tag) matching and per-pair FIFO order; Barrier / Broadcast /
+// AllGather are built from point-to-point messages the way a tree-based
+// MPI implementation builds them. Every byte is counted so benches can
+// report communication volume.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace parapll::cluster {
+
+using Payload = std::vector<std::uint8_t>;
+
+class Fabric;
+
+// One rank's endpoint. Valid only inside Fabric::Run's callback; all
+// methods are called from that rank's own thread.
+class Communicator {
+ public:
+  [[nodiscard]] std::size_t Rank() const { return rank_; }
+  [[nodiscard]] std::size_t Size() const;
+
+  // Point-to-point. Send is asynchronous (buffered); Recv blocks until a
+  // message with matching (src, tag) arrives. Messages from the same
+  // source with the same tag are delivered in send order.
+  void Send(std::size_t dst, int tag, Payload payload);
+  Payload Recv(std::size_t src, int tag);
+
+  // Collectives over all ranks (every rank must call them in the same
+  // order — the usual MPI contract).
+  void Barrier();
+
+  // Binomial-tree broadcast of root's payload; returns it on every rank.
+  Payload Broadcast(std::size_t root, Payload payload);
+
+  // Every rank contributes one payload; returns all payloads indexed by
+  // rank, identical on every rank (gather-to-0 + tree broadcast).
+  std::vector<Payload> AllGather(Payload mine);
+
+  // Counters for this rank.
+  [[nodiscard]] std::uint64_t BytesSent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t MessagesSent() const { return messages_sent_; }
+
+ private:
+  friend class Fabric;
+  Communicator(Fabric& fabric, std::size_t rank)
+      : fabric_(fabric), rank_(rank) {}
+
+  Fabric& fabric_;
+  std::size_t rank_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+// Owns the mailboxes and spawns one thread per rank.
+class Fabric {
+ public:
+  explicit Fabric(std::size_t ranks);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] std::size_t Size() const { return mailboxes_.size(); }
+
+  // Runs fn(comm) on every rank concurrently; returns when all finish.
+  // May be called multiple times; counters accumulate.
+  void Run(const std::function<void(Communicator&)>& fn);
+
+  // Sum of bytes sent across all ranks in all Run calls so far.
+  [[nodiscard]] std::uint64_t TotalBytesSent() const {
+    return total_bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t TotalMessagesSent() const {
+    return total_messages_sent_;
+  }
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    std::size_t src = 0;
+    int tag = 0;
+    Payload payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::deque<Message> messages;
+  };
+
+  void Deliver(std::size_t dst, Message message);
+  Payload Take(std::size_t rank, std::size_t src, int tag);
+
+  std::vector<Mailbox> mailboxes_;
+  std::uint64_t total_bytes_sent_ = 0;
+  std::uint64_t total_messages_sent_ = 0;
+};
+
+}  // namespace parapll::cluster

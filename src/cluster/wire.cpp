@@ -1,0 +1,61 @@
+#include "cluster/wire.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace parapll::cluster {
+
+namespace {
+
+template <typename T>
+void AppendPod(Payload& out, const T& value) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T TakePod(const Payload& in, std::size_t& pos) {
+  PARAPLL_CHECK(pos + sizeof(T) <= in.size());
+  T value{};
+  std::memcpy(&value, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+Payload EncodeUpdates(double node_clock,
+                      const std::vector<LabelUpdate>& updates) {
+  Payload out;
+  out.reserve(sizeof(double) + sizeof(std::uint64_t) +
+              updates.size() * (2 * sizeof(graph::VertexId) +
+                                sizeof(graph::Distance)));
+  AppendPod(out, node_clock);
+  AppendPod(out, static_cast<std::uint64_t>(updates.size()));
+  for (const LabelUpdate& u : updates) {
+    AppendPod(out, u.vertex);
+    AppendPod(out, u.hub);
+    AppendPod(out, u.dist);
+  }
+  return out;
+}
+
+DecodedUpdates DecodeUpdates(const Payload& payload) {
+  DecodedUpdates decoded;
+  std::size_t pos = 0;
+  decoded.node_clock = TakePod<double>(payload, pos);
+  const auto count = TakePod<std::uint64_t>(payload, pos);
+  decoded.updates.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LabelUpdate u;
+    u.vertex = TakePod<graph::VertexId>(payload, pos);
+    u.hub = TakePod<graph::VertexId>(payload, pos);
+    u.dist = TakePod<graph::Distance>(payload, pos);
+    decoded.updates.push_back(u);
+  }
+  PARAPLL_CHECK(pos == payload.size());
+  return decoded;
+}
+
+}  // namespace parapll::cluster

@@ -1,0 +1,33 @@
+// Wire format for label-update exchange (the "List" of paper Alg. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/comm.hpp"
+#include "graph/types.hpp"
+
+namespace parapll::cluster {
+
+// One newly indexed label entry: (vertex, hub, distance), all in rank
+// space. This is the element type of Alg. 3's List vector.
+struct LabelUpdate {
+  graph::VertexId vertex = 0;
+  graph::VertexId hub = 0;
+  graph::Distance dist = 0;
+
+  friend bool operator==(const LabelUpdate&, const LabelUpdate&) = default;
+};
+
+// Encodes a node's virtual clock plus its update list into one payload.
+Payload EncodeUpdates(double node_clock,
+                      const std::vector<LabelUpdate>& updates);
+
+struct DecodedUpdates {
+  double node_clock = 0.0;
+  std::vector<LabelUpdate> updates;
+};
+
+DecodedUpdates DecodeUpdates(const Payload& payload);
+
+}  // namespace parapll::cluster

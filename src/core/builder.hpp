@@ -1,0 +1,103 @@
+// parapll::IndexBuilder — the one-stop public entry point.
+//
+// Chooses between every indexing mode the paper describes:
+//   kSerial          — weighted serial PLL (paper §4.1)
+//   kParallel        — intra-node ParaPLL with real threads (§4.3–4.4)
+//   kSimulated       — intra-node ParaPLL under the deterministic
+//                      virtual-time scheduler (reproduces parallel
+//                      schedules on any machine; see src/vtime/)
+//   kCluster         — inter-node ParaPLL on the message fabric (§4.5)
+// and returns a queryable pll::Index plus a BuildReport of the metrics the
+// paper tabulates (indexing time, speedup inputs, average label size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster_indexer.hpp"
+#include "graph/graph.hpp"
+#include "parapll/options.hpp"
+#include "pll/index.hpp"
+#include "pll/ordering.hpp"
+#include "vtime/cost_model.hpp"
+
+namespace parapll {
+
+enum class BuildMode {
+  kSerial,
+  kParallel,
+  kSimulated,
+  kCluster,
+};
+
+std::string ToString(BuildMode mode);
+
+struct BuildReport {
+  BuildMode mode = BuildMode::kSerial;
+  double indexing_seconds = 0.0;   // wall time of the build
+  double makespan_units = 0.0;     // virtual units (simulated/cluster modes)
+  double total_units = 0.0;        // serial-equivalent units of all work
+  double avg_label_size = 0.0;     // "LN"
+  std::size_t total_label_entries = 0;
+  std::size_t index_bytes = 0;
+  pll::PruneStats totals;
+};
+
+class IndexBuilder {
+ public:
+  IndexBuilder& Mode(BuildMode mode) {
+    mode_ = mode;
+    return *this;
+  }
+  // Worker threads (kParallel), simulated workers (kSimulated), or
+  // workers per node (kCluster).
+  IndexBuilder& Threads(std::size_t threads) {
+    threads_ = threads;
+    return *this;
+  }
+  IndexBuilder& Nodes(std::size_t nodes) {
+    nodes_ = nodes;
+    return *this;
+  }
+  IndexBuilder& SyncCount(std::size_t count) {
+    sync_count_ = count;
+    return *this;
+  }
+  IndexBuilder& Policy(parallel::AssignmentPolicy policy) {
+    policy_ = policy;
+    return *this;
+  }
+  IndexBuilder& Ordering(pll::OrderingPolicy ordering) {
+    ordering_ = ordering;
+    return *this;
+  }
+  IndexBuilder& LockScheme(parallel::LockMode mode) {
+    lock_mode_ = mode;
+    return *this;
+  }
+  IndexBuilder& Seed(std::uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+  IndexBuilder& Cost(const vtime::CostModel& cost) {
+    cost_ = cost;
+    return *this;
+  }
+
+  // Builds the index; `report`, when non-null, receives build metrics.
+  [[nodiscard]] pll::Index Build(const graph::Graph& g,
+                                 BuildReport* report = nullptr) const;
+
+ private:
+  BuildMode mode_ = BuildMode::kSerial;
+  std::size_t threads_ = 1;
+  std::size_t nodes_ = 1;
+  std::size_t sync_count_ = 1;
+  parallel::AssignmentPolicy policy_ = parallel::AssignmentPolicy::kDynamic;
+  pll::OrderingPolicy ordering_ = pll::OrderingPolicy::kDegree;
+  parallel::LockMode lock_mode_ = parallel::LockMode::kStriped;
+  std::uint64_t seed_ = 0;
+  vtime::CostModel cost_;
+};
+
+}  // namespace parapll

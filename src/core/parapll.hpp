@@ -1,0 +1,39 @@
+// Umbrella header: everything a downstream user of ParaPLL needs.
+//
+//   #include "core/parapll.hpp"
+//
+//   auto g = parapll::graph::BarabasiAlbert(...);
+//   auto index = parapll::IndexBuilder()
+//                    .Mode(parapll::BuildMode::kParallel)
+//                    .Threads(8)
+//                    .Build(g);
+//   auto d = index.Query(s, t);
+#pragma once
+
+#include "baseline/bfs.hpp"
+#include "baseline/bidirectional_dijkstra.hpp"
+#include "baseline/dijkstra.hpp"
+#include "baseline/floyd_warshall.hpp"
+#include "baseline/landmark_estimator.hpp"
+#include "baseline/oracle.hpp"
+#include "cluster/cluster_indexer.hpp"
+#include "cluster/comm.hpp"
+#include "core/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/datasets.hpp"
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "parapll/parallel_indexer.hpp"
+#include "pll/compact_io.hpp"
+#include "pll/dynamic_index.hpp"
+#include "pll/index.hpp"
+#include "pll/knn_engine.hpp"
+#include "pll/path_index.hpp"
+#include "pll/serial_pll.hpp"
+#include "pll/verify.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "vtime/sim_indexer.hpp"

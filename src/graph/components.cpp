@@ -1,0 +1,102 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace parapll::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::Find(std::size_t x) {
+  PARAPLL_DCHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(std::size_t a, std::size_t b) {
+  std::size_t ra = Find(a);
+  std::size_t rb = Find(b);
+  if (ra == rb) {
+    return false;
+  }
+  if (size_[ra] < size_[rb]) {
+    std::swap(ra, rb);
+  }
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::size_t UnionFind::SizeOf(std::size_t x) { return size_[Find(x)]; }
+
+std::vector<std::size_t> ComponentLabels(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  UnionFind uf(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      uf.Union(u, arc.target);
+    }
+  }
+  std::vector<std::size_t> labels(n);
+  std::vector<std::size_t> remap(n, SIZE_MAX);
+  std::size_t next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t root = uf.Find(v);
+    if (remap[root] == SIZE_MAX) {
+      remap[root] = next++;
+    }
+    labels[v] = remap[root];
+  }
+  return labels;
+}
+
+std::size_t NumComponents(const Graph& g) {
+  if (g.NumVertices() == 0) {
+    return 0;
+  }
+  const auto labels = ComponentLabels(g);
+  return 1 + *std::max_element(labels.begin(), labels.end());
+}
+
+bool IsConnected(const Graph& g) { return NumComponents(g) <= 1; }
+
+Graph LargestComponent(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  if (n == 0) {
+    return g;
+  }
+  const auto labels = ComponentLabels(g);
+  const std::size_t num = 1 + *std::max_element(labels.begin(), labels.end());
+  std::vector<std::size_t> sizes(num, 0);
+  for (std::size_t label : labels) {
+    ++sizes[label];
+  }
+  const std::size_t best =
+      static_cast<std::size_t>(std::max_element(sizes.begin(), sizes.end()) -
+                               sizes.begin());
+  std::vector<VertexId> remap(n, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (labels[v] == best) {
+      remap[v] = next++;
+    }
+  }
+  std::vector<Edge> edges;
+  for (const Edge& e : g.ToEdgeList()) {
+    if (remap[e.u] != kInvalidVertex && remap[e.v] != kInvalidVertex) {
+      edges.push_back(Edge{remap[e.u], remap[e.v], e.weight});
+    }
+  }
+  return Graph::FromEdges(next, edges);
+}
+
+}  // namespace parapll::graph

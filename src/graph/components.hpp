@@ -1,0 +1,42 @@
+// Connected components via union–find.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parapll::graph {
+
+// Disjoint-set forest with union by size and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t Find(std::size_t x);
+
+  // Returns true if the call merged two distinct sets.
+  bool Union(std::size_t a, std::size_t b);
+
+  [[nodiscard]] std::size_t NumSets() const { return num_sets_; }
+  [[nodiscard]] std::size_t SizeOf(std::size_t x);
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t num_sets_;
+};
+
+// Component label of every vertex, labels dense in [0, #components).
+std::vector<std::size_t> ComponentLabels(const Graph& g);
+
+std::size_t NumComponents(const Graph& g);
+
+bool IsConnected(const Graph& g);
+
+// The induced subgraph on the largest connected component, with vertices
+// compacted to [0, size). PLL handles disconnected graphs fine (queries
+// across components return infinity); this is a convenience for workloads
+// that want one component.
+Graph LargestComponent(const Graph& g);
+
+}  // namespace parapll::graph

@@ -1,0 +1,60 @@
+// Synthetic dataset catalog mirroring paper Table 2.
+//
+// The paper evaluates on eleven public real-world graphs. This offline
+// reproduction regenerates each as a synthetic graph of the same family
+// (power-law social / P2P / AS topologies, flat-degree road networks) with
+// the same n : m ratio; `scale` shrinks nominal sizes so benches finish on
+// one core. Table 2:
+//
+//   Wiki-Vote     7,115    201,524   Social
+//   Gnutella     10,876     79,988   Internet P2P
+//   CondMat      23,133    186,936   Collaboration
+//   DE-USA       49,109    121,024   Road network
+//   RI-USA       53,658    137,579   Road network
+//   AS-Relation  57,272    983,610   Autonomous Systems
+//   HI-USA       64,892    152,450   Road network
+//   Epinions     75,879    811,480   Social
+//   AskUbuntu   137,517    508,415   Social
+//   Skitter     192,244  1,218,132   Autonomous Systems
+//   Euall       265,214    730,051   Email Communication
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parapll::graph {
+
+// Which generator family reproduces the dataset's degree structure.
+enum class DatasetFamily {
+  kPreferentialAttachment,  // Barabási–Albert: social / collaboration
+  kRecursiveMatrix,         // R-MAT: AS topologies, email, P2P
+  kRoadGrid,                // perturbed grid: road networks
+};
+
+struct DatasetSpec {
+  std::string name;        // paper Table 2 name
+  std::string graph_type;  // paper Table 2 "Graph Type"
+  VertexId paper_n = 0;
+  std::size_t paper_m = 0;
+  DatasetFamily family = DatasetFamily::kPreferentialAttachment;
+};
+
+// All eleven Table 2 rows, in the paper's order.
+const std::vector<DatasetSpec>& PaperCatalog();
+
+// Looks up a catalog row by (case-sensitive) name.
+std::optional<DatasetSpec> FindDataset(const std::string& name);
+
+// Instantiates the synthetic stand-in for `spec` at `scale` × paper size
+// (0 < scale <= 1). Weighted with uniform integer weights in [1, 100]
+// (road networks use the road-like model). Deterministic in `seed`.
+Graph MakeDataset(const DatasetSpec& spec, double scale, std::uint64_t seed);
+
+// Convenience: MakeDataset(FindDataset(name), scale, seed).
+Graph MakeDatasetByName(const std::string& name, double scale,
+                        std::uint64_t seed);
+
+}  // namespace parapll::graph

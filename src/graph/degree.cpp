@@ -1,0 +1,70 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace parapll::graph {
+
+std::vector<VertexId> DescendingDegreeOrder(const Graph& g) {
+  std::vector<VertexId> order(g.NumVertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  return order;
+}
+
+util::IntHistogram DegreeHistogram(const Graph& g) {
+  util::IntHistogram hist;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    hist.Add(g.Degree(v));
+  }
+  return hist;
+}
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  const VertexId n = g.NumVertices();
+  if (n == 0) {
+    return stats;
+  }
+  stats.min = g.Degree(0);
+  double sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t d = g.Degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    sum += static_cast<double>(d);
+  }
+  stats.mean = sum / static_cast<double>(n);
+
+  // log–log least squares over the (degree, count) histogram.
+  const auto items = DegreeHistogram(g).Items();
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  std::size_t k = 0;
+  for (const auto& [degree, count] : items) {
+    if (degree == 0) {
+      continue;
+    }
+    const double x = std::log(static_cast<double>(degree));
+    const double y = std::log(static_cast<double>(count));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++k;
+  }
+  if (k >= 2) {
+    const double denom = static_cast<double>(k) * sxx - sx * sx;
+    if (std::abs(denom) > 1e-12) {
+      stats.log_log_slope = (static_cast<double>(k) * sxy - sx * sy) / denom;
+    }
+  }
+  return stats;
+}
+
+}  // namespace parapll::graph

@@ -1,0 +1,30 @@
+// Degree statistics and degree-based vertex orderings.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/stats.hpp"
+
+namespace parapll::graph {
+
+// Vertices sorted by descending degree (ties broken by ascending id) —
+// the computing sequence ParaPLL's task manager uses (paper §4.2).
+std::vector<VertexId> DescendingDegreeOrder(const Graph& g);
+
+// Exact degree histogram (paper Figure 5).
+util::IntHistogram DegreeHistogram(const Graph& g);
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  // Least-squares slope of log(count) vs log(degree) over degrees >= 1;
+  // strongly negative for power-law graphs, near zero / undefined spread
+  // for road grids.
+  double log_log_slope = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+}  // namespace parapll::graph

@@ -1,0 +1,252 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace parapll::graph {
+
+namespace {
+
+// Packs an undirected pair (min, max) into one key for dedup sets.
+std::uint64_t PairKey(VertexId a, VertexId b) {
+  const VertexId lo = std::min(a, b);
+  const VertexId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+Weight DrawWeight(const WeightOptions& options, util::Rng& rng) {
+  switch (options.model) {
+    case WeightModel::kUnit:
+      return 1;
+    case WeightModel::kUniform:
+      return static_cast<Weight>(1 + rng.Below(options.max_weight));
+    case WeightModel::kRoadLike: {
+      // 85% short segments, 15% longer stretches.
+      const Weight base = static_cast<Weight>(
+          1 + rng.Below(std::max<Weight>(options.max_weight / 10, 1)));
+      if (rng.Chance(0.15)) {
+        return static_cast<Weight>(
+            std::min<std::uint64_t>(base * 8ULL, options.max_weight));
+      }
+      return base;
+    }
+  }
+  return 1;
+}
+
+Graph ErdosRenyi(VertexId n, std::size_t m, const WeightOptions& weights,
+                 std::uint64_t seed) {
+  PARAPLL_CHECK(n >= 2);
+  const std::size_t max_edges =
+      static_cast<std::size_t>(n) * (n - 1) / 2;
+  PARAPLL_CHECK_MSG(m <= max_edges, "too many edges requested");
+  util::Rng rng(seed);
+  std::set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const auto u = static_cast<VertexId>(rng.Below(n));
+    const auto v = static_cast<VertexId>(rng.Below(n));
+    if (u == v || !seen.insert(PairKey(u, v)).second) {
+      continue;
+    }
+    edges.push_back(Edge{u, v, DrawWeight(weights, rng)});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph BarabasiAlbert(VertexId n, std::size_t edges_per_vertex,
+                     const WeightOptions& weights, std::uint64_t seed) {
+  PARAPLL_CHECK(n >= 2 && edges_per_vertex >= 1);
+  util::Rng rng(seed);
+  // `targets` holds one entry per arc endpoint, so sampling uniformly from
+  // it is sampling proportional to degree.
+  std::vector<VertexId> targets;
+  std::vector<Edge> edges;
+  const VertexId seed_size =
+      static_cast<VertexId>(std::min<std::size_t>(edges_per_vertex + 1, n));
+  // Seed clique over the first seed_size vertices.
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      edges.push_back(Edge{u, v, DrawWeight(weights, rng)});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (VertexId u = seed_size; u < n; ++u) {
+    std::set<VertexId> chosen;
+    while (chosen.size() < edges_per_vertex) {
+      const VertexId v = targets[rng.Below(targets.size())];
+      if (v != u) {
+        chosen.insert(v);
+      }
+    }
+    for (VertexId v : chosen) {
+      edges.push_back(Edge{u, v, DrawWeight(weights, rng)});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Rmat(VertexId scale, std::size_t m, const RmatOptions& rmat,
+           const WeightOptions& weights, std::uint64_t seed) {
+  PARAPLL_CHECK(scale >= 1 && scale < 31);
+  const VertexId n = static_cast<VertexId>(1) << scale;
+  util::Rng rng(seed);
+  std::set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = m * 64 + 1024;
+  while (edges.size() < m && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0;
+    VertexId v = 0;
+    for (VertexId bit = n >> 1; bit != 0; bit >>= 1) {
+      const double r = rng.Real();
+      if (r < rmat.a) {
+        // top-left quadrant: no bits set
+      } else if (r < rmat.a + rmat.b) {
+        v |= bit;
+      } else if (r < rmat.a + rmat.b + rmat.c) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    if (u == v || !seen.insert(PairKey(u, v)).second) {
+      continue;
+    }
+    edges.push_back(Edge{u, v, DrawWeight(weights, rng)});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph WattsStrogatz(VertexId n, std::size_t k, double beta,
+                    const WeightOptions& weights, std::uint64_t seed) {
+  PARAPLL_CHECK(n >= 4 && k >= 1 && 2 * k < n);
+  util::Rng rng(seed);
+  std::set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.Chance(beta)) {
+        // Rewire the far endpoint to a uniform random vertex.
+        VertexId w = static_cast<VertexId>(rng.Below(n));
+        int tries = 0;
+        while ((w == u || seen.count(PairKey(u, w)) != 0) && tries < 32) {
+          w = static_cast<VertexId>(rng.Below(n));
+          ++tries;
+        }
+        if (w != u && seen.count(PairKey(u, w)) == 0) {
+          v = w;
+        }
+      }
+      if (seen.insert(PairKey(u, v)).second) {
+        edges.push_back(Edge{u, v, DrawWeight(weights, rng)});
+      }
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph RoadGrid(VertexId rows, VertexId cols, double keep_fraction,
+               std::size_t highways, const WeightOptions& weights,
+               std::uint64_t seed) {
+  PARAPLL_CHECK(rows >= 2 && cols >= 2);
+  PARAPLL_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  const VertexId n = rows * cols;
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      // Keep a spanning skeleton: always connect each non-origin vertex to
+      // one previous neighbor so the grid stays connected, drop the other
+      // lattice edges with probability 1 - keep_fraction.
+      if (c + 1 < cols) {
+        const bool skeleton = r == 0;
+        if (skeleton || rng.Chance(keep_fraction)) {
+          edges.push_back(
+              Edge{id(r, c), id(r, c + 1), DrawWeight(weights, rng)});
+        }
+      }
+      if (r + 1 < rows) {
+        const bool skeleton = true;  // vertical backbone keeps connectivity
+        if (skeleton || rng.Chance(keep_fraction)) {
+          edges.push_back(
+              Edge{id(r, c), id(r + 1, c), DrawWeight(weights, rng)});
+        }
+      }
+    }
+  }
+  // Long-range "highways".
+  std::set<std::uint64_t> seen;
+  for (const Edge& e : edges) {
+    seen.insert(PairKey(e.u, e.v));
+  }
+  std::size_t added = 0;
+  while (added < highways) {
+    const auto u = static_cast<VertexId>(rng.Below(n));
+    const auto v = static_cast<VertexId>(rng.Below(n));
+    if (u == v || !seen.insert(PairKey(u, v)).second) {
+      continue;
+    }
+    edges.push_back(Edge{u, v, DrawWeight(weights, rng)});
+    ++added;
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Complete(VertexId n, const WeightOptions& weights, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      edges.push_back(Edge{u, v, DrawWeight(weights, rng)});
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Path(VertexId n, const WeightOptions& weights, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    edges.push_back(Edge{u, u + 1, DrawWeight(weights, rng)});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Star(VertexId n, const WeightOptions& weights, std::uint64_t seed) {
+  PARAPLL_CHECK(n >= 1);
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) {
+    edges.push_back(Edge{0, v, DrawWeight(weights, rng)});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Cycle(VertexId n, const WeightOptions& weights, std::uint64_t seed) {
+  PARAPLL_CHECK(n >= 3);
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    edges.push_back(
+        Edge{u, static_cast<VertexId>((u + 1) % n), DrawWeight(weights, rng)});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace parapll::graph

@@ -1,0 +1,78 @@
+// Synthetic graph generators.
+//
+// The reproduction environment is offline, so the paper's real-world
+// datasets (SNAP / CAIDA / TIGER) are replaced by synthetic graphs of the
+// same *family*: power-law graphs for social / P2P / AS networks
+// (Barabási–Albert, RMAT) and low-degree grid-like graphs for road
+// networks. All generators are deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace parapll::graph {
+
+// How edge weights σ(e) are drawn.
+enum class WeightModel {
+  kUnit,        // all weights 1 (unweighted case, original PLL setting)
+  kUniform,     // uniform integer in [1, max_weight]
+  kRoadLike,    // mostly small with occasional long segments (road networks)
+};
+
+struct WeightOptions {
+  WeightModel model = WeightModel::kUniform;
+  Weight max_weight = 100;
+};
+
+// Draws one weight according to `options`.
+Weight DrawWeight(const WeightOptions& options, util::Rng& rng);
+
+// Erdős–Rényi G(n, m): m distinct uniform random edges.
+Graph ErdosRenyi(VertexId n, std::size_t m, const WeightOptions& weights,
+                 std::uint64_t seed);
+
+// Barabási–Albert preferential attachment: each new vertex attaches
+// `edges_per_vertex` edges to existing vertices with probability
+// proportional to degree. Produces the power-law degree distribution of
+// social / collaboration / P2P graphs (paper Fig. 5).
+Graph BarabasiAlbert(VertexId n, std::size_t edges_per_vertex,
+                     const WeightOptions& weights, std::uint64_t seed);
+
+// R-MAT recursive-matrix generator (a ≥ b,c ≥ d): skewed, community-like
+// power-law graphs resembling AS-level topologies (Skitter, AS-Relation).
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+Graph Rmat(VertexId scale, std::size_t m, const RmatOptions& rmat,
+           const WeightOptions& weights, std::uint64_t seed);
+
+// Watts–Strogatz small world: ring lattice with k neighbors per side,
+// rewired with probability beta.
+Graph WattsStrogatz(VertexId n, std::size_t k, double beta,
+                    const WeightOptions& weights, std::uint64_t seed);
+
+// Road-network-like graph: a rows×cols grid with `keep_fraction` of edges
+// retained (holes, like real road maps), a few random "highway" shortcuts,
+// and road-like weights. Degree ≤ 4 + shortcuts, matching the flat degree
+// distribution of DE/RI/HI-USA in paper Fig. 5.
+Graph RoadGrid(VertexId rows, VertexId cols, double keep_fraction,
+               std::size_t highways, const WeightOptions& weights,
+               std::uint64_t seed);
+
+// A complete graph K_n (testing aid).
+Graph Complete(VertexId n, const WeightOptions& weights, std::uint64_t seed);
+
+// A simple path 0-1-2-...-n-1 (testing aid).
+Graph Path(VertexId n, const WeightOptions& weights, std::uint64_t seed);
+
+// A star with center 0 (testing aid).
+Graph Star(VertexId n, const WeightOptions& weights, std::uint64_t seed);
+
+// A cycle 0-1-...-n-1-0 (testing aid).
+Graph Cycle(VertexId n, const WeightOptions& weights, std::uint64_t seed);
+
+}  // namespace parapll::graph

@@ -1,0 +1,92 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace parapll::graph {
+
+Graph Graph::FromEdges(VertexId num_vertices, std::span<const Edge> edges) {
+  // Expand to directed arcs, dropping self-loops.
+  std::vector<std::pair<VertexId, Arc>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    PARAPLL_CHECK_MSG(e.u < num_vertices && e.v < num_vertices,
+                      "edge endpoint out of range");
+    PARAPLL_CHECK_MSG(e.weight > 0, "edge weights must be positive");
+    if (e.u == e.v) {
+      continue;
+    }
+    directed.emplace_back(e.u, Arc{e.v, e.weight});
+    directed.emplace_back(e.v, Arc{e.u, e.weight});
+  }
+  std::sort(directed.begin(), directed.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              if (a.second.target != b.second.target)
+                return a.second.target < b.second.target;
+              return a.second.weight < b.second.weight;
+            });
+  // Collapse parallel arcs, keeping the lightest (first after sort).
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  g.arcs_.reserve(directed.size());
+  VertexId last_source = kInvalidVertex;
+  VertexId last_target = kInvalidVertex;
+  for (const auto& [source, arc] : directed) {
+    if (source == last_source && arc.target == last_target) {
+      continue;
+    }
+    g.arcs_.push_back(arc);
+    ++g.offsets_[source + 1];
+    last_source = source;
+    last_target = arc.target;
+  }
+  for (std::size_t v = 1; v <= num_vertices; ++v) {
+    g.offsets_[v] += g.offsets_[v - 1];
+  }
+  return g;
+}
+
+Distance Graph::TotalWeight() const {
+  Distance total = 0;
+  for (const Arc& arc : arcs_) {
+    total += arc.weight;
+  }
+  return total / 2;
+}
+
+Weight Graph::MaxWeight() const {
+  Weight max_w = 0;
+  for (const Arc& arc : arcs_) {
+    max_w = std::max(max_w, arc.weight);
+  }
+  return max_w;
+}
+
+std::vector<Edge> Graph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const Arc& arc : Neighbors(u)) {
+      if (u < arc.target) {
+        edges.push_back(Edge{u, arc.target, arc.weight});
+      }
+    }
+  }
+  return edges;
+}
+
+Graph Graph::Relabel(std::span<const VertexId> permutation) const {
+  const VertexId n = NumVertices();
+  PARAPLL_CHECK(permutation.size() == n);
+  std::vector<Edge> edges = ToEdgeList();
+  for (Edge& e : edges) {
+    e.u = permutation[e.u];
+    e.v = permutation[e.v];
+  }
+  return FromEdges(n, edges);
+}
+
+}  // namespace parapll::graph

@@ -1,0 +1,61 @@
+// Compressed-sparse-row weighted undirected graph G = (V, E).
+//
+// Immutable once built. Each undirected edge {u,v} is stored as two arcs
+// (u→v and v→u); parallel edges are collapsed to the minimum weight and
+// self-loops are dropped during construction (neither affects shortest-path
+// distance).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace parapll::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds from an undirected edge list over vertices [0, num_vertices).
+  // Edges with u == v are ignored; duplicate {u,v} pairs keep the lightest
+  // weight. Edge endpoints must be < num_vertices.
+  static Graph FromEdges(VertexId num_vertices, std::span<const Edge> edges);
+
+  // |V| and |E| (undirected edge count, after dedup/self-loop removal).
+  [[nodiscard]] VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t NumEdges() const { return arcs_.size() / 2; }
+
+  // Outgoing arcs of `v`, sorted by target id.
+  [[nodiscard]] std::span<const Arc> Neighbors(VertexId v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t Degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  // Total weight of all undirected edges.
+  [[nodiscard]] Distance TotalWeight() const;
+
+  // Maximum edge weight (0 for an edgeless graph).
+  [[nodiscard]] Weight MaxWeight() const;
+
+  // The undirected edge list (u < v), sorted; reconstructable input form.
+  [[nodiscard]] std::vector<Edge> ToEdgeList() const;
+
+  // Returns a graph with vertices renamed: new id = permutation[old id].
+  // `permutation` must be a bijection on [0, n).
+  [[nodiscard]] Graph Relabel(std::span<const VertexId> permutation) const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<Arc> arcs_;             // size 2|E|
+};
+
+}  // namespace parapll::graph

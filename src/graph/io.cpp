@@ -1,0 +1,156 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace parapll::graph {
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x50617261504c4c31ULL;  // "ParaPLL1"
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) {
+    throw std::runtime_error("truncated binary graph stream");
+  }
+  return value;
+}
+
+}  // namespace
+
+Graph ReadEdgeListText(std::istream& in, bool compact_ids) {
+  std::vector<Edge> edges;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  VertexId next_id = 0;
+  std::uint64_t max_raw_id = 0;
+  std::uint64_t header_n = 0;
+  auto intern = [&](std::uint64_t raw) -> VertexId {
+    if (!compact_ids) {
+      max_raw_id = std::max(max_raw_id, raw);
+      return static_cast<VertexId>(raw);
+    }
+    const auto [it, inserted] = remap.emplace(raw, next_id);
+    if (inserted) {
+      ++next_id;
+    }
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      // Honor an "n=<count>" token so isolated vertices round-trip.
+      if (const auto pos = line.find("n="); pos != std::string::npos) {
+        header_n = std::strtoull(line.c_str() + pos + 2, nullptr, 10);
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    std::uint64_t raw_u = 0;
+    std::uint64_t raw_v = 0;
+    std::uint64_t raw_w = 1;
+    if (!(fields >> raw_u >> raw_v)) {
+      throw std::runtime_error("malformed edge on line " +
+                               std::to_string(line_no));
+    }
+    fields >> raw_w;  // optional weight column
+    if (raw_w == 0) {
+      throw std::runtime_error("zero weight on line " +
+                               std::to_string(line_no));
+    }
+    edges.push_back(
+        Edge{intern(raw_u), intern(raw_v), static_cast<Weight>(raw_w)});
+  }
+  VertexId n = compact_ids
+                   ? next_id
+                   : static_cast<VertexId>(edges.empty() ? 0 : max_raw_id + 1);
+  n = std::max(n, static_cast<VertexId>(header_n));
+  return Graph::FromEdges(n, edges);
+}
+
+Graph ReadEdgeListTextFile(const std::string& path, bool compact_ids) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return ReadEdgeListText(in, compact_ids);
+}
+
+void WriteEdgeListText(const Graph& g, std::ostream& out) {
+  out << "# parapll edge list: n=" << g.NumVertices() << " m=" << g.NumEdges()
+      << "\n";
+  for (const Edge& e : g.ToEdgeList()) {
+    out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+}
+
+void WriteEdgeListTextFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  WriteEdgeListText(g, out);
+}
+
+void WriteBinary(const Graph& g, std::ostream& out) {
+  WritePod(out, kBinaryMagic);
+  WritePod(out, static_cast<std::uint64_t>(g.NumVertices()));
+  const std::vector<Edge> edges = g.ToEdgeList();
+  WritePod(out, static_cast<std::uint64_t>(edges.size()));
+  for (const Edge& e : edges) {
+    WritePod(out, e.u);
+    WritePod(out, e.v);
+    WritePod(out, e.weight);
+  }
+}
+
+Graph ReadBinary(std::istream& in) {
+  if (ReadPod<std::uint64_t>(in) != kBinaryMagic) {
+    throw std::runtime_error("bad binary graph magic");
+  }
+  const auto n = static_cast<VertexId>(ReadPod<std::uint64_t>(in));
+  const auto m = ReadPod<std::uint64_t>(in);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    Edge e;
+    e.u = ReadPod<VertexId>(in);
+    e.v = ReadPod<VertexId>(in);
+    e.weight = ReadPod<Weight>(in);
+    edges.push_back(e);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+void WriteBinaryFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  WriteBinary(g, out);
+}
+
+Graph ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return ReadBinary(in);
+}
+
+}  // namespace parapll::graph

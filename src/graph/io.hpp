@@ -1,0 +1,41 @@
+// Graph (de)serialization.
+//
+// Two formats:
+//  * text edge list — "u v w" per line, '#' comments, SNAP-compatible when
+//    the weight column is omitted (weight defaults to 1);
+//  * binary — a compact little-endian dump with a magic header, used to
+//    cache generated datasets between bench runs.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace parapll::graph {
+
+// --- text edge list ---------------------------------------------------
+
+// Reads "u v [w]" lines. By default vertex ids are taken literally
+// (n = max id + 1, honoring an "n=<count>" token in a leading '#' comment,
+// as written by WriteEdgeListText — this makes the text format round-trip
+// even with trailing isolated vertices). With compact_ids, sparse ids
+// (e.g. raw SNAP dumps) are renumbered densely in first-appearance order.
+// Throws std::runtime_error on malformed input.
+Graph ReadEdgeListText(std::istream& in, bool compact_ids = false);
+Graph ReadEdgeListTextFile(const std::string& path, bool compact_ids = false);
+
+// Writes "u v w" lines (u < v), one undirected edge per line.
+void WriteEdgeListText(const Graph& g, std::ostream& out);
+void WriteEdgeListTextFile(const Graph& g, const std::string& path);
+
+// --- binary -----------------------------------------------------------
+
+// Binary round-trip: WriteBinary(g) |> ReadBinary == g.
+void WriteBinary(const Graph& g, std::ostream& out);
+Graph ReadBinary(std::istream& in);
+void WriteBinaryFile(const Graph& g, const std::string& path);
+Graph ReadBinaryFile(const std::string& path);
+
+}  // namespace parapll::graph

@@ -1,0 +1,43 @@
+// Fundamental graph value types (paper Table 1 notation).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace parapll::graph {
+
+// Vertex identifier; dense in [0, n).
+using VertexId = std::uint32_t;
+
+// Edge weight σ(e) — positive integers, as in the paper's weighted graphs.
+using Weight = std::uint32_t;
+
+// A path distance σ(P(s,t)); wide enough that summing n max-weight edges
+// cannot overflow.
+using Distance = std::uint64_t;
+
+// Distance between disconnected vertices / "not reached yet" sentinel.
+inline constexpr Distance kInfiniteDistance =
+    std::numeric_limits<Distance>::max();
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+// A weighted undirected edge e_{u,v} with σ(e_{u,v}) = weight.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Weight weight = 1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// An outgoing arc in the CSR adjacency of one vertex.
+struct Arc {
+  VertexId target = 0;
+  Weight weight = 1;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+}  // namespace parapll::graph

@@ -1,0 +1,87 @@
+#include "parapll/concurrent_label_store.hpp"
+
+#include "util/check.hpp"
+
+namespace parapll::parallel {
+
+std::string ToString(AssignmentPolicy policy) {
+  return policy == AssignmentPolicy::kStatic ? "static" : "dynamic";
+}
+
+std::string ToString(LockMode mode) {
+  switch (mode) {
+    case LockMode::kGlobal:
+      return "global";
+    case LockMode::kStriped:
+      return "striped";
+    case LockMode::kPerRow:
+      return "per-row";
+  }
+  return "?";
+}
+
+ConcurrentLabelStore::ConcurrentLabelStore(graph::VertexId n, LockMode mode)
+    : mode_(mode), rows_(n) {
+  switch (mode_) {
+    case LockMode::kGlobal:
+      break;
+    case LockMode::kStriped:
+      striped_mutexes_ = std::vector<std::mutex>(kStripes);
+      break;
+    case LockMode::kPerRow:
+      row_spinlocks_ = std::vector<std::atomic_flag>(n);
+      break;
+  }
+}
+
+void ConcurrentLabelStore::LockRow(graph::VertexId v) {
+  switch (mode_) {
+    case LockMode::kGlobal:
+      global_mutex_.lock();
+      break;
+    case LockMode::kStriped:
+      striped_mutexes_[v & (kStripes - 1)].lock();
+      break;
+    case LockMode::kPerRow:
+      while (row_spinlocks_[v].test_and_set(std::memory_order_acquire)) {
+        // spin; rows are short and critical sections tiny
+      }
+      break;
+  }
+}
+
+void ConcurrentLabelStore::UnlockRow(graph::VertexId v) {
+  switch (mode_) {
+    case LockMode::kGlobal:
+      global_mutex_.unlock();
+      break;
+    case LockMode::kStriped:
+      striped_mutexes_[v & (kStripes - 1)].unlock();
+      break;
+    case LockMode::kPerRow:
+      row_spinlocks_[v].clear(std::memory_order_release);
+      break;
+  }
+}
+
+void ConcurrentLabelStore::Append(graph::VertexId v, graph::VertexId hub,
+                                  graph::Distance dist) {
+  PARAPLL_DCHECK(v < rows_.size());
+  LockRow(v);
+  rows_[v].push_back(pll::LabelEntry{hub, dist});
+  UnlockRow(v);
+}
+
+std::size_t ConcurrentLabelStore::TotalEntries() const {
+  std::size_t total = 0;
+  for (graph::VertexId v = 0; v < NumVertices(); ++v) {
+    ForEach(v, [&total](graph::VertexId, graph::Distance) { ++total; });
+  }
+  return total;
+}
+
+pll::LabelStore ConcurrentLabelStore::TakeFinalized() {
+  return pll::LabelStore::FromRows(std::move(rows_));
+}
+
+}  // namespace parapll::parallel

@@ -1,0 +1,66 @@
+// Shared-memory label store for intra-node ParaPLL.
+//
+// Multiple Pruned Dijkstra workers concurrently append to and read from
+// per-vertex rows. Rows are protected by one of three locking schemes
+// (LockMode) so the lock-granularity ablation bench can compare them; the
+// paper's Algorithm 2 corresponds to kGlobal ("a semaphore ... only one
+// thread can update the label at any time").
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "parapll/options.hpp"
+#include "pll/label_store.hpp"
+
+namespace parapll::parallel {
+
+class ConcurrentLabelStore {
+ public:
+  ConcurrentLabelStore(graph::VertexId n, LockMode mode);
+
+  ConcurrentLabelStore(const ConcurrentLabelStore&) = delete;
+  ConcurrentLabelStore& operator=(const ConcurrentLabelStore&) = delete;
+
+  [[nodiscard]] graph::VertexId NumVertices() const {
+    return static_cast<graph::VertexId>(rows_.size());
+  }
+
+  // Thread-safe append of (hub, dist) to L(v).
+  void Append(graph::VertexId v, graph::VertexId hub, graph::Distance dist);
+
+  // Thread-safe iteration: fn(hub, dist) for every entry currently in
+  // L(v). The row lock is held across the callbacks; callbacks must be
+  // cheap and must not touch the store.
+  template <typename F>
+  void ForEach(graph::VertexId v, F&& fn) const {
+    auto* self = const_cast<ConcurrentLabelStore*>(this);
+    self->LockRow(v);
+    for (const pll::LabelEntry& e : rows_[v]) {
+      fn(e.hub, e.dist);
+    }
+    self->UnlockRow(v);
+  }
+
+  [[nodiscard]] std::size_t TotalEntries() const;
+
+  // Moves the rows into an immutable query-stage store. Must only be
+  // called after all workers have finished.
+  pll::LabelStore TakeFinalized();
+
+ private:
+  void LockRow(graph::VertexId v);
+  void UnlockRow(graph::VertexId v);
+
+  static constexpr std::size_t kStripes = 256;  // power of two
+
+  LockMode mode_;
+  std::vector<std::vector<pll::LabelEntry>> rows_;
+  mutable std::mutex global_mutex_;
+  mutable std::vector<std::mutex> striped_mutexes_;
+  mutable std::vector<std::atomic_flag> row_spinlocks_;
+};
+
+}  // namespace parapll::parallel

@@ -1,0 +1,24 @@
+// Shared option types for the intra-node ParaPLL indexers.
+#pragma once
+
+#include <string>
+
+namespace parapll::parallel {
+
+// Task-manager policy (paper §4.3 / §4.4).
+enum class AssignmentPolicy {
+  kStatic,   // round-robin pre-assignment: thread t gets ranks t, t+p, ...
+  kDynamic,  // shared ordered queue: free thread takes the next rank
+};
+
+// Concurrency control for the shared label store (lock ablation).
+enum class LockMode {
+  kGlobal,   // one mutex for every row — the paper's Alg. 2 semaphore
+  kStriped,  // 2^k mutexes, row v uses stripe v mod 2^k
+  kPerRow,   // one spinlock per row
+};
+
+std::string ToString(AssignmentPolicy policy);
+std::string ToString(LockMode mode);
+
+}  // namespace parapll::parallel

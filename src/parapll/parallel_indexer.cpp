@@ -1,0 +1,91 @@
+#include "parapll/parallel_indexer.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "parapll/concurrent_label_store.hpp"
+#include "pll/serial_pll.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace parapll::parallel {
+
+ParallelBuildResult BuildParallel(const graph::Graph& g,
+                                  const ParallelBuildOptions& options) {
+  PARAPLL_CHECK(options.threads >= 1);
+  ParallelBuildResult result;
+  result.order = pll::ComputeOrder(g, options.ordering, options.seed);
+  const graph::Graph rank_graph = pll::ToRankSpace(g, result.order);
+  const graph::VertexId n = rank_graph.NumVertices();
+
+  ConcurrentLabelStore labels(n, options.lock_mode);
+  const std::size_t p = options.threads;
+  std::vector<ThreadReport> reports(p);
+  std::vector<pll::PruneStats> totals(p);
+
+  // Completion-order trace: workers claim slots with an atomic cursor.
+  std::vector<std::pair<graph::VertexId, std::size_t>> trace;
+  std::atomic<std::size_t> trace_cursor{0};
+  if (options.record_trace) {
+    trace.resize(n);
+  }
+
+  // Dynamic policy: the "vertices queue" of Algorithm 2. Because ranks are
+  // already sorted by descending degree, an atomic cursor over [0, n) is
+  // exactly the locked dequeue of the paper without the lock convoy.
+  std::atomic<graph::VertexId> next_rank{0};
+
+  util::WallTimer wall;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(p);
+    for (std::size_t t = 0; t < p; ++t) {
+      workers.emplace_back([&, t] {
+        pll::PruneScratch scratch(n);
+        util::WallTimer busy;
+        auto run_root = [&](graph::VertexId root) {
+          const pll::PruneStats stats =
+              pll::PrunedDijkstra(rank_graph, root, labels, scratch);
+          pll::Accumulate(totals[t], stats);
+          ++reports[t].roots_processed;
+          if (options.record_trace) {
+            const std::size_t slot =
+                trace_cursor.fetch_add(1, std::memory_order_relaxed);
+            trace[slot] = {root, stats.labels_added};
+          }
+        };
+        if (options.policy == AssignmentPolicy::kStatic) {
+          for (graph::VertexId root = static_cast<graph::VertexId>(t);
+               root < n; root += static_cast<graph::VertexId>(p)) {
+            run_root(root);
+          }
+        } else {
+          for (;;) {
+            const graph::VertexId root =
+                next_rank.fetch_add(1, std::memory_order_relaxed);
+            if (root >= n) {
+              break;
+            }
+            run_root(root);
+          }
+        }
+        reports[t].busy_seconds = busy.Seconds();
+      });
+    }
+    for (auto& worker : workers) {
+      worker.join();
+    }
+  }
+  result.indexing_seconds = wall.Seconds();
+
+  for (const pll::PruneStats& stats : totals) {
+    pll::Accumulate(result.totals, stats);
+  }
+  result.threads = std::move(reports);
+  result.trace = std::move(trace);
+  result.store = labels.TakeFinalized();
+  return result;
+}
+
+}  // namespace parapll::parallel

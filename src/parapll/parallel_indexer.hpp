@@ -1,0 +1,53 @@
+// Intra-node ParaPLL: real-thread parallel indexing (paper §4.3–§4.4).
+//
+// The task manager reorders vertices by descending degree and hands roots
+// to p worker threads under the static or dynamic policy; every worker
+// runs Pruned Dijkstra against the shared ConcurrentLabelStore. Relaxed
+// label visibility can add redundant labels but never wrong ones (paper
+// Proposition 1); `pll::VerifySampled` is the test-suite witness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "parapll/options.hpp"
+#include "pll/index.hpp"
+#include "pll/ordering.hpp"
+#include "pll/pruned_dijkstra.hpp"
+
+namespace parapll::parallel {
+
+struct ParallelBuildOptions {
+  std::size_t threads = 1;
+  AssignmentPolicy policy = AssignmentPolicy::kDynamic;
+  LockMode lock_mode = LockMode::kStriped;
+  pll::OrderingPolicy ordering = pll::OrderingPolicy::kDegree;
+  std::uint64_t seed = 0;
+  bool record_trace = false;  // per-root labels-added in completion order
+};
+
+struct ThreadReport {
+  std::size_t roots_processed = 0;
+  double busy_seconds = 0.0;  // time spent inside Pruned Dijkstra
+};
+
+struct ParallelBuildResult {
+  pll::LabelStore store;               // rank space
+  std::vector<graph::VertexId> order;  // rank -> original id
+  double indexing_seconds = 0.0;
+  pll::PruneStats totals;
+  std::vector<ThreadReport> threads;
+  // (root rank, labels added) in global completion order; Fig. 6 input.
+  std::vector<std::pair<graph::VertexId, std::size_t>> trace;
+
+  // Convenience: wraps store + order into a queryable Index (copies).
+  [[nodiscard]] pll::Index MakeIndex() const {
+    return pll::Index(store, order);
+  }
+};
+
+ParallelBuildResult BuildParallel(const graph::Graph& g,
+                                  const ParallelBuildOptions& options);
+
+}  // namespace parapll::parallel

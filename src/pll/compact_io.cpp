@@ -1,0 +1,119 @@
+#include "pll/compact_io.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace parapll::pll {
+
+namespace {
+constexpr std::uint64_t kCompactMagic = 0x504c4c7a69703176ULL;  // "PLLzip1v"
+
+std::size_t VarintSize(std::uint64_t value) {
+  std::size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+}  // namespace
+
+void WriteVarint(std::ostream& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    const auto byte = static_cast<unsigned char>((value & 0x7f) | 0x80);
+    out.put(static_cast<char>(byte));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+std::uint64_t ReadVarint(std::istream& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = in.get();
+    if (byte == std::char_traits<char>::eof()) {
+      throw std::runtime_error("truncated varint");
+    }
+    if (shift >= 64) {
+      throw std::runtime_error("varint overflow");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+}
+
+void WriteCompact(const LabelStore& store, std::ostream& out) {
+  WriteVarint(out, kCompactMagic);
+  const graph::VertexId n = store.NumVertices();
+  WriteVarint(out, n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto row = store.Row(v);
+    WriteVarint(out, row.size());
+    graph::VertexId previous_hub = 0;
+    for (const LabelEntry& e : row) {
+      // Rows are hub-sorted, so deltas are non-negative and small.
+      WriteVarint(out, e.hub - previous_hub);
+      previous_hub = e.hub;
+      WriteVarint(out, e.dist);
+    }
+  }
+}
+
+LabelStore ReadCompactStore(std::istream& in) {
+  if (ReadVarint(in) != kCompactMagic) {
+    throw std::runtime_error("bad compact label store magic");
+  }
+  const auto n = static_cast<graph::VertexId>(ReadVarint(in));
+  std::vector<std::vector<LabelEntry>> rows(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto count = ReadVarint(in);
+    rows[v].reserve(count);
+    graph::VertexId hub = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      hub += static_cast<graph::VertexId>(ReadVarint(in));
+      const auto dist = ReadVarint(in);
+      rows[v].push_back(LabelEntry{hub, dist});
+    }
+  }
+  return LabelStore::FromRows(std::move(rows));
+}
+
+void WriteCompactIndex(const Index& index, std::ostream& out) {
+  WriteCompact(index.Store(), out);
+  for (const graph::VertexId v : index.Order()) {
+    WriteVarint(out, v);
+  }
+}
+
+Index ReadCompactIndex(std::istream& in) {
+  LabelStore store = ReadCompactStore(in);
+  std::vector<graph::VertexId> order(store.NumVertices());
+  for (auto& v : order) {
+    v = static_cast<graph::VertexId>(ReadVarint(in));
+  }
+  return Index(std::move(store), std::move(order));
+}
+
+std::size_t CompactSizeBytes(const LabelStore& store) {
+  std::size_t total = VarintSize(kCompactMagic);
+  const graph::VertexId n = store.NumVertices();
+  total += VarintSize(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto row = store.Row(v);
+    total += VarintSize(row.size());
+    graph::VertexId previous_hub = 0;
+    for (const LabelEntry& e : row) {
+      total += VarintSize(e.hub - previous_hub);
+      previous_hub = e.hub;
+      total += VarintSize(e.dist);
+    }
+  }
+  return total;
+}
+
+}  // namespace parapll::pll

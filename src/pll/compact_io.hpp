@@ -1,0 +1,34 @@
+// Compact (varint + delta) label-store serialization.
+//
+// Label rows are sorted by hub rank and hub ranks are small for the
+// high-coverage landmarks, so delta-encoding hubs and LEB128-encoding
+// both fields shrinks an index file by roughly 3-5x against the fixed
+// width format of LabelStore::Serialize — which matters because index
+// size is PLL's main deployment cost (paper §5.2: memory ~ n · LN).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "pll/index.hpp"
+#include "pll/label_store.hpp"
+
+namespace parapll::pll {
+
+// LEB128 unsigned varint primitives (exposed for tests).
+void WriteVarint(std::ostream& out, std::uint64_t value);
+std::uint64_t ReadVarint(std::istream& in);  // throws on truncation
+
+// Round-trip: WriteCompact(store) |> ReadCompactStore == store.
+void WriteCompact(const LabelStore& store, std::ostream& out);
+LabelStore ReadCompactStore(std::istream& in);
+
+// Whole-index variants (store + vertex ordering).
+void WriteCompactIndex(const Index& index, std::ostream& out);
+Index ReadCompactIndex(std::istream& in);
+
+// Bytes the compact encoding of `store` occupies (without writing).
+std::size_t CompactSizeBytes(const LabelStore& store);
+
+}  // namespace parapll::pll

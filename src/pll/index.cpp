@@ -1,0 +1,65 @@
+#include "pll/index.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "pll/ordering.hpp"
+#include "util/check.hpp"
+
+namespace parapll::pll {
+
+Index::Index(LabelStore store, std::vector<graph::VertexId> order)
+    : store_(std::move(store)), order_(std::move(order)) {
+  PARAPLL_CHECK(order_.size() == store_.NumVertices());
+  rank_of_ = InvertOrder(order_);
+}
+
+graph::Distance Index::Query(graph::VertexId s, graph::VertexId t) const {
+  PARAPLL_CHECK(s < NumVertices() && t < NumVertices());
+  if (s == t) {
+    return 0;
+  }
+  return store_.Query(rank_of_[s], rank_of_[t]);
+}
+
+std::size_t Index::MemoryBytes() const {
+  return store_.MemoryBytes() +
+         (order_.size() + rank_of_.size()) * sizeof(graph::VertexId);
+}
+
+void Index::Save(std::ostream& out) const {
+  store_.Serialize(out);
+  for (graph::VertexId v : order_) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+}
+
+Index Index::Load(std::istream& in) {
+  LabelStore store = LabelStore::Deserialize(in);
+  std::vector<graph::VertexId> order(store.NumVertices());
+  for (auto& v : order) {
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  }
+  if (!in) {
+    throw std::runtime_error("truncated index stream");
+  }
+  return Index(std::move(store), std::move(order));
+}
+
+void Index::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  Save(out);
+}
+
+Index Index::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return Load(in);
+}
+
+}  // namespace parapll::pll

@@ -1,0 +1,58 @@
+// The queryable distance index — PLL's querying stage (paper §3.1).
+//
+// Wraps a rank-space LabelStore together with the vertex ordering so
+// callers query with their original vertex ids.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "pll/label_store.hpp"
+
+namespace parapll::pll {
+
+class Index {
+ public:
+  Index() = default;
+  Index(LabelStore store, std::vector<graph::VertexId> order);
+
+  // Exact shortest-path distance σ(P(s, t)) between *original* vertex ids;
+  // kInfiniteDistance when s and t are disconnected.
+  [[nodiscard]] graph::Distance Query(graph::VertexId s,
+                                      graph::VertexId t) const;
+
+  [[nodiscard]] graph::VertexId NumVertices() const {
+    return store_.NumVertices();
+  }
+  [[nodiscard]] double AvgLabelSize() const { return store_.AvgLabelSize(); }
+  [[nodiscard]] std::size_t TotalEntries() const {
+    return store_.TotalEntries();
+  }
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+  [[nodiscard]] const LabelStore& Store() const { return store_; }
+  [[nodiscard]] const std::vector<graph::VertexId>& Order() const {
+    return order_;
+  }
+  // Rank of original vertex id `v` (the row of v in Store()).
+  [[nodiscard]] graph::VertexId RankOf(graph::VertexId v) const {
+    return rank_of_[v];
+  }
+
+  // Binary round-trip: Save |> Load == *this.
+  void Save(std::ostream& out) const;
+  static Index Load(std::istream& in);
+  void SaveFile(const std::string& path) const;
+  static Index LoadFile(const std::string& path);
+
+  friend bool operator==(const Index&, const Index&) = default;
+
+ private:
+  LabelStore store_;                        // rank space
+  std::vector<graph::VertexId> order_;      // rank -> original id
+  std::vector<graph::VertexId> rank_of_;    // original id -> rank
+};
+
+}  // namespace parapll::pll

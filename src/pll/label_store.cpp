@@ -1,0 +1,138 @@
+#include "pll/label_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace parapll::pll {
+
+graph::Distance QueryRows(std::span<const LabelEntry> a,
+                          std::span<const LabelEntry> b) {
+  graph::Distance best = graph::kInfiniteDistance;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].hub == b[j].hub) {
+      const graph::Distance sum = a[i].dist + b[j].dist;
+      best = std::min(best, sum);
+      ++i;
+      ++j;
+    } else if (a[i].hub < b[j].hub) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+std::size_t MutableLabels::TotalEntries() const {
+  std::size_t total = 0;
+  for (const auto& row : rows_) {
+    total += row.size();
+  }
+  return total;
+}
+
+LabelStore LabelStore::FromRows(std::vector<std::vector<LabelEntry>> rows) {
+  LabelStore store;
+  store.offsets_.reserve(rows.size() + 1);
+  store.offsets_.push_back(0);
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const LabelEntry& x, const LabelEntry& y) {
+                if (x.hub != y.hub) return x.hub < y.hub;
+                return x.dist < y.dist;
+              });
+    // Dedup by hub, keeping the smallest distance (first after sort).
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (kept > 0 && row[kept - 1].hub == row[i].hub) {
+        continue;
+      }
+      row[kept++] = row[i];
+    }
+    store.entries_.insert(store.entries_.end(), row.begin(),
+                          row.begin() + static_cast<std::ptrdiff_t>(kept));
+    store.offsets_.push_back(store.entries_.size());
+  }
+  return store;
+}
+
+LabelStore LabelStore::FromMutable(const MutableLabels& labels) {
+  std::vector<std::vector<LabelEntry>> rows;
+  rows.reserve(labels.NumVertices());
+  for (graph::VertexId v = 0; v < labels.NumVertices(); ++v) {
+    rows.push_back(labels.Row(v));
+  }
+  return FromRows(std::move(rows));
+}
+
+double LabelStore::AvgLabelSize() const {
+  const graph::VertexId n = NumVertices();
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(entries_.size()) / static_cast<double>(n);
+}
+
+std::size_t LabelStore::MemoryBytes() const {
+  return offsets_.size() * sizeof(std::size_t) +
+         entries_.size() * sizeof(LabelEntry);
+}
+
+namespace {
+constexpr std::uint64_t kLabelMagic = 0x4c61626c53746f31ULL;  // "LablSto1"
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) {
+    throw std::runtime_error("truncated label store stream");
+  }
+  return value;
+}
+}  // namespace
+
+void LabelStore::Serialize(std::ostream& out) const {
+  WritePod(out, kLabelMagic);
+  WritePod(out, static_cast<std::uint64_t>(NumVertices()));
+  WritePod(out, static_cast<std::uint64_t>(entries_.size()));
+  for (std::size_t offset : offsets_) {
+    WritePod(out, static_cast<std::uint64_t>(offset));
+  }
+  for (const LabelEntry& e : entries_) {
+    WritePod(out, e.hub);
+    WritePod(out, e.dist);
+  }
+}
+
+LabelStore LabelStore::Deserialize(std::istream& in) {
+  if (ReadPod<std::uint64_t>(in) != kLabelMagic) {
+    throw std::runtime_error("bad label store magic");
+  }
+  const auto n = ReadPod<std::uint64_t>(in);
+  const auto total = ReadPod<std::uint64_t>(in);
+  LabelStore store;
+  store.offsets_.resize(n + 1);
+  for (auto& offset : store.offsets_) {
+    offset = static_cast<std::size_t>(ReadPod<std::uint64_t>(in));
+  }
+  store.entries_.resize(total);
+  for (auto& e : store.entries_) {
+    e.hub = ReadPod<graph::VertexId>(in);
+    e.dist = ReadPod<graph::Distance>(in);
+  }
+  PARAPLL_CHECK(store.offsets_.front() == 0 &&
+                store.offsets_.back() == store.entries_.size());
+  return store;
+}
+
+}  // namespace parapll::pll

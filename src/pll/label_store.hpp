@@ -1,0 +1,107 @@
+// 2-hop labels: L(v) = { (hub rank, σ(P(hub, v))) } (paper §2.1 / §3.1).
+//
+// Two representations:
+//  * MutableLabels — append-friendly rows used while indexing (serial);
+//  * LabelStore    — immutable, flat, rank-sorted rows used for queries.
+// Both live in *rank space* (see pll/ordering.hpp).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace parapll::pll {
+
+struct LabelEntry {
+  graph::VertexId hub = 0;       // rank of the landmark vertex
+  graph::Distance dist = 0;      // exact-or-upper-bound σ from hub
+
+  friend bool operator==(const LabelEntry&, const LabelEntry&) = default;
+};
+
+// QUERY(s, t, L) over two rank-sorted rows: min over common hubs of
+// dist(hub, s) + dist(hub, t); infinity when no hub is shared.
+graph::Distance QueryRows(std::span<const LabelEntry> a,
+                          std::span<const LabelEntry> b);
+
+// Growable per-vertex rows for serial indexing.
+class MutableLabels {
+ public:
+  explicit MutableLabels(graph::VertexId n) : rows_(n) {}
+
+  [[nodiscard]] graph::VertexId NumVertices() const {
+    return static_cast<graph::VertexId>(rows_.size());
+  }
+
+  // Appends (hub, dist) to L(v). Serial PLL appends hubs in increasing
+  // rank, so rows stay sorted without extra work.
+  void Append(graph::VertexId v, graph::VertexId hub, graph::Distance dist) {
+    rows_[v].push_back(LabelEntry{hub, dist});
+  }
+
+  // Calls fn(hub, dist) for every entry of L(v).
+  template <typename F>
+  void ForEach(graph::VertexId v, F&& fn) const {
+    for (const LabelEntry& e : rows_[v]) {
+      fn(e.hub, e.dist);
+    }
+  }
+
+  [[nodiscard]] const std::vector<LabelEntry>& Row(graph::VertexId v) const {
+    return rows_[v];
+  }
+
+  [[nodiscard]] std::size_t TotalEntries() const;
+
+ private:
+  std::vector<std::vector<LabelEntry>> rows_;
+};
+
+// Immutable query-stage store.
+class LabelStore {
+ public:
+  LabelStore() = default;
+
+  // Builds from per-vertex rows; each row is sorted by hub rank and
+  // deduplicated (keeping the minimum distance per hub).
+  static LabelStore FromRows(std::vector<std::vector<LabelEntry>> rows);
+  static LabelStore FromMutable(const MutableLabels& labels);
+
+  [[nodiscard]] graph::VertexId NumVertices() const {
+    return static_cast<graph::VertexId>(
+        offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  [[nodiscard]] std::span<const LabelEntry> Row(graph::VertexId v) const {
+    return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
+  }
+
+  // QUERY(s, t) in rank space.
+  [[nodiscard]] graph::Distance Query(graph::VertexId s,
+                                      graph::VertexId t) const {
+    return QueryRows(Row(s), Row(t));
+  }
+
+  [[nodiscard]] std::size_t TotalEntries() const { return entries_.size(); }
+
+  // "LN" in the paper's tables: average label entries per vertex.
+  [[nodiscard]] double AvgLabelSize() const;
+
+  // Approximate resident size of the store in bytes.
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+  void Serialize(std::ostream& out) const;
+  static LabelStore Deserialize(std::istream& in);
+
+  friend bool operator==(const LabelStore&, const LabelStore&) = default;
+
+ private:
+  std::vector<std::size_t> offsets_;  // n + 1
+  std::vector<LabelEntry> entries_;
+};
+
+}  // namespace parapll::pll

@@ -1,0 +1,137 @@
+#include "pll/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/degree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace parapll::pll {
+
+std::string ToString(OrderingPolicy policy) {
+  switch (policy) {
+    case OrderingPolicy::kDegree:
+      return "degree";
+    case OrderingPolicy::kRandom:
+      return "random";
+    case OrderingPolicy::kApproxBetweenness:
+      return "approx-betweenness";
+  }
+  return "?";
+}
+
+namespace {
+
+// ψ(v) estimate: sample sources, build each shortest-path tree, and credit
+// every vertex with the size of its subtree (the number of shortest paths
+// from the source that pass through it). This is the Potamias et al.
+// centrality the paper cites for the optimal sequence.
+std::vector<double> SampledPathCentrality(const graph::Graph& g,
+                                          std::size_t samples,
+                                          std::uint64_t seed) {
+  const graph::VertexId n = g.NumVertices();
+  std::vector<double> score(n, 0.0);
+  if (n == 0) {
+    return score;
+  }
+  util::Rng rng(seed);
+  std::vector<graph::VertexId> parent(n);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto source = static_cast<graph::VertexId>(rng.Below(n));
+    const auto dist = baseline::DijkstraAll(g, source);
+    // Parent pointers of one shortest-path tree (smallest-id tie-break).
+    std::fill(parent.begin(), parent.end(), graph::kInvalidVertex);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (v == source || dist[v] == graph::kInfiniteDistance) {
+        continue;
+      }
+      for (const graph::Arc& arc : g.Neighbors(v)) {
+        if (dist[arc.target] != graph::kInfiniteDistance &&
+            dist[arc.target] + arc.weight == dist[v]) {
+          parent[v] = arc.target;
+          break;
+        }
+      }
+    }
+    // Process vertices in descending distance: subtree sizes accumulate up.
+    std::vector<graph::VertexId> by_depth;
+    by_depth.reserve(n);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (dist[v] != graph::kInfiniteDistance) {
+        by_depth.push_back(v);
+      }
+    }
+    std::sort(by_depth.begin(), by_depth.end(),
+              [&dist](graph::VertexId a, graph::VertexId b) {
+                return dist[a] > dist[b];
+              });
+    std::vector<double> subtree(n, 1.0);
+    for (graph::VertexId v : by_depth) {
+      if (parent[v] != graph::kInvalidVertex) {
+        subtree[parent[v]] += subtree[v];
+      }
+    }
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (dist[v] != graph::kInfiniteDistance) {
+        score[v] += subtree[v];
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+std::vector<graph::VertexId> ComputeOrder(const graph::Graph& g,
+                                          OrderingPolicy policy,
+                                          std::uint64_t seed) {
+  const graph::VertexId n = g.NumVertices();
+  switch (policy) {
+    case OrderingPolicy::kDegree:
+      return graph::DescendingDegreeOrder(g);
+    case OrderingPolicy::kRandom: {
+      std::vector<graph::VertexId> order(n);
+      std::iota(order.begin(), order.end(), graph::VertexId{0});
+      util::Rng rng(seed);
+      rng.Shuffle(order);
+      return order;
+    }
+    case OrderingPolicy::kApproxBetweenness: {
+      const std::size_t samples =
+          std::clamp<std::size_t>(n / 64, 4, 32);
+      const auto score = SampledPathCentrality(g, samples, seed);
+      std::vector<graph::VertexId> order(n);
+      std::iota(order.begin(), order.end(), graph::VertexId{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&score, &g](graph::VertexId a, graph::VertexId b) {
+                         if (score[a] != score[b]) return score[a] > score[b];
+                         return g.Degree(a) > g.Degree(b);
+                       });
+      return order;
+    }
+  }
+  PARAPLL_CHECK_MSG(false, "unreachable ordering policy");
+  return {};
+}
+
+std::vector<graph::VertexId> InvertOrder(
+    const std::vector<graph::VertexId>& order) {
+  std::vector<graph::VertexId> rank_of(order.size(), graph::kInvalidVertex);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    PARAPLL_CHECK(order[rank] < order.size());
+    PARAPLL_CHECK_MSG(rank_of[order[rank]] == graph::kInvalidVertex,
+                      "order is not a permutation");
+    rank_of[order[rank]] = static_cast<graph::VertexId>(rank);
+  }
+  return rank_of;
+}
+
+graph::Graph ToRankSpace(const graph::Graph& g,
+                         const std::vector<graph::VertexId>& order) {
+  return g.Relabel(InvertOrder(order));
+}
+
+}  // namespace parapll::pll

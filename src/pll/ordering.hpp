@@ -1,0 +1,40 @@
+// Vertex ordering (the "computing sequence", paper §2.2 / §4.2).
+//
+// PLL's pruning power depends on indexing "important" vertices first; the
+// paper orders by descending degree. The indexers work in *rank space*:
+// vertex with rank 0 is indexed first, and label entries store hub ranks,
+// so label rows are naturally small-integer-sorted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parapll::pll {
+
+enum class OrderingPolicy {
+  kDegree,             // descending degree — the paper's choice
+  kRandom,             // uniform random permutation (ablation baseline)
+  kApproxBetweenness,  // sampled shortest-path-tree centrality ψ(v) estimate
+                       // (paper §4.3 cites ψ as the ideal criterion)
+};
+
+std::string ToString(OrderingPolicy policy);
+
+// order[rank] = original vertex id. `seed` feeds kRandom and the sampling
+// in kApproxBetweenness; kDegree ignores it.
+std::vector<graph::VertexId> ComputeOrder(const graph::Graph& g,
+                                          OrderingPolicy policy,
+                                          std::uint64_t seed);
+
+// Inverse permutation: rank_of[original id] = rank.
+std::vector<graph::VertexId> InvertOrder(
+    const std::vector<graph::VertexId>& order);
+
+// Relabels g into rank space: new id of v = rank_of[v].
+graph::Graph ToRankSpace(const graph::Graph& g,
+                         const std::vector<graph::VertexId>& order);
+
+}  // namespace parapll::pll

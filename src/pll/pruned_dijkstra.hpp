@@ -1,0 +1,181 @@
+// Pruned Dijkstra (paper Algorithm 1), generic over the label container.
+//
+// One invocation indexes root r (a *rank* in [0, n)): it runs Dijkstra
+// from r over the rank-space graph and, before labeling/expanding a
+// settled vertex u, evaluates the 2-hop pruning test
+//
+//     QUERY(r, u)  ≤  D[u]   →  prune u (skip label, skip expansion)
+//
+// where QUERY runs over the labels currently visible in `labels`.
+// Only hubs of rank < r participate in the test — in a serial run no other
+// hubs exist yet, and in a parallel run this keeps the pruning witness on
+// the provably-safe side of the ordering induction (see DESIGN.md).
+//
+// The `Labels` parameter must provide:
+//   void ForEach(VertexId v, F fn) const   // fn(hub, dist) per visible entry
+//   void Append(VertexId v, VertexId hub, Distance dist)
+// ForEach may surface entries concurrently appended by other roots; Append
+// must be safe against concurrent Appends to the same row (the serial
+// MutableLabels trivially satisfies both).
+//
+// A Labels type may instead provide
+//   void AppendWithParent(VertexId v, VertexId hub, Distance dist,
+//                         VertexId parent)
+// to additionally receive v's predecessor in the root's search tree —
+// the hook path reconstruction builds on (see pll/path_index.hpp). Because
+// pruned vertices are never expanded, a labeled vertex's search-tree path
+// runs exclusively through vertices labeled with the same root, so parent
+// chains can always be walked through the label store.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace parapll::pll {
+
+// Operation counts for one root; these feed the paper's Fig. 6 CDF and the
+// virtual-time cost model.
+struct PruneStats {
+  std::size_t settled = 0;        // vertices dequeued and processed
+  std::size_t pruned = 0;         // vertices cut by the 2-hop test
+  std::size_t labels_added = 0;   // entries appended (this root's column)
+  std::size_t relaxations = 0;    // edges examined
+  std::size_t heap_pushes = 0;
+  std::size_t probe_entries = 0;  // label entries touched by pruning tests
+};
+
+// Reusable per-worker scratch: the "several arrays of length |V| within
+// each thread" of paper §5.2. Reset cost is proportional to what the
+// previous root touched, not to n.
+class PruneScratch {
+ public:
+  explicit PruneScratch(graph::VertexId n)
+      : dist_(n, graph::kInfiniteDistance),
+        root_dist_(n, graph::kInfiniteDistance),
+        parent_(n, graph::kInvalidVertex) {}
+
+  [[nodiscard]] graph::VertexId Size() const {
+    return static_cast<graph::VertexId>(dist_.size());
+  }
+
+  std::vector<graph::Distance>& Dist() { return dist_; }
+  std::vector<graph::Distance>& RootDist() { return root_dist_; }
+  std::vector<graph::VertexId>& Parent() { return parent_; }
+  std::vector<graph::VertexId>& TouchedDist() { return touched_dist_; }
+  std::vector<graph::VertexId>& TouchedRoot() { return touched_root_; }
+
+ private:
+  std::vector<graph::Distance> dist_;
+  std::vector<graph::Distance> root_dist_;
+  std::vector<graph::VertexId> parent_;
+  std::vector<graph::VertexId> touched_dist_;
+  std::vector<graph::VertexId> touched_root_;
+};
+
+template <typename Labels>
+PruneStats PrunedDijkstra(const graph::Graph& rank_graph,
+                          graph::VertexId root, Labels& labels,
+                          PruneScratch& scratch) {
+  PARAPLL_DCHECK(root < rank_graph.NumVertices());
+  PARAPLL_DCHECK(scratch.Size() == rank_graph.NumVertices());
+  PruneStats stats;
+
+  // Detect at compile time whether the label store wants search-tree
+  // parents along with each entry (see header comment).
+  constexpr bool kWantParents =
+      requires(Labels& l) {
+        l.AppendWithParent(graph::VertexId{}, graph::VertexId{},
+                           graph::Distance{}, graph::VertexId{});
+      };
+
+  auto& dist = scratch.Dist();
+  auto& root_dist = scratch.RootDist();
+  auto& parent = scratch.Parent();
+  auto& touched_dist = scratch.TouchedDist();
+  auto& touched_root = scratch.TouchedRoot();
+  touched_dist.clear();
+  touched_root.clear();
+
+  // Snapshot L(root) into a dense hub→distance array so each pruning test
+  // is O(|L(u)|). Hubs of rank >= root are ignored (see header comment).
+  labels.ForEach(root, [&](graph::VertexId hub, graph::Distance d) {
+    if (hub < root && d < root_dist[hub]) {
+      if (root_dist[hub] == graph::kInfiniteDistance) {
+        touched_root.push_back(hub);
+      }
+      root_dist[hub] = d;
+    }
+  });
+
+  using HeapEntry = std::pair<graph::Distance, graph::VertexId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  dist[root] = 0;
+  if constexpr (kWantParents) {
+    parent[root] = root;
+  }
+  touched_dist.push_back(root);
+  heap.emplace(0, root);
+  ++stats.heap_pushes;
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) {
+      continue;  // stale heap entry
+    }
+    ++stats.settled;
+
+    // Pruning test: QUERY(root, u) over currently-visible labels.
+    graph::Distance covered = graph::kInfiniteDistance;
+    labels.ForEach(u, [&](graph::VertexId hub, graph::Distance hd) {
+      ++stats.probe_entries;
+      if (hub < root && root_dist[hub] != graph::kInfiniteDistance) {
+        const graph::Distance via = root_dist[hub] + hd;
+        if (via < covered) {
+          covered = via;
+        }
+      }
+    });
+    if (covered <= d) {
+      ++stats.pruned;
+      continue;
+    }
+
+    if constexpr (kWantParents) {
+      labels.AppendWithParent(u, root, d, parent[u]);
+    } else {
+      labels.Append(u, root, d);
+    }
+    ++stats.labels_added;
+
+    for (const graph::Arc& arc : rank_graph.Neighbors(u)) {
+      ++stats.relaxations;
+      const graph::Distance nd = d + arc.weight;
+      if (nd < dist[arc.target]) {
+        if (dist[arc.target] == graph::kInfiniteDistance) {
+          touched_dist.push_back(arc.target);
+        }
+        dist[arc.target] = nd;
+        if constexpr (kWantParents) {
+          parent[arc.target] = u;
+        }
+        heap.emplace(nd, arc.target);
+        ++stats.heap_pushes;
+      }
+    }
+  }
+
+  // Cheap reset: clear only what this root touched.
+  for (graph::VertexId v : touched_dist) {
+    dist[v] = graph::kInfiniteDistance;
+  }
+  for (graph::VertexId hub : touched_root) {
+    root_dist[hub] = graph::kInfiniteDistance;
+  }
+  return stats;
+}
+
+}  // namespace parapll::pll

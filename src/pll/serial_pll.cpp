@@ -1,0 +1,42 @@
+#include "pll/serial_pll.hpp"
+
+#include "util/timer.hpp"
+
+namespace parapll::pll {
+
+void Accumulate(PruneStats& total, const PruneStats& increment) {
+  total.settled += increment.settled;
+  total.pruned += increment.pruned;
+  total.labels_added += increment.labels_added;
+  total.relaxations += increment.relaxations;
+  total.heap_pushes += increment.heap_pushes;
+  total.probe_entries += increment.probe_entries;
+}
+
+SerialBuildResult BuildSerial(const graph::Graph& g,
+                              const SerialBuildOptions& options) {
+  SerialBuildResult result;
+  result.order = ComputeOrder(g, options.ordering, options.seed);
+  const graph::Graph rank_graph = ToRankSpace(g, result.order);
+  const graph::VertexId n = rank_graph.NumVertices();
+
+  MutableLabels labels(n);
+  PruneScratch scratch(n);
+  if (options.record_trace) {
+    result.trace.reserve(n);
+  }
+
+  util::WallTimer timer;
+  for (graph::VertexId root = 0; root < n; ++root) {
+    const PruneStats stats = PrunedDijkstra(rank_graph, root, labels, scratch);
+    Accumulate(result.totals, stats);
+    if (options.record_trace) {
+      result.trace.push_back(stats);
+    }
+  }
+  result.indexing_seconds = timer.Seconds();
+  result.store = LabelStore::FromMutable(labels);
+  return result;
+}
+
+}  // namespace parapll::pll

@@ -1,0 +1,40 @@
+// Serial weighted PLL (paper §4.1): the baseline every ParaPLL variant is
+// measured against, and the correctness reference for parallel runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pll/label_store.hpp"
+#include "pll/ordering.hpp"
+#include "pll/pruned_dijkstra.hpp"
+
+namespace parapll::pll {
+
+struct SerialBuildOptions {
+  OrderingPolicy ordering = OrderingPolicy::kDegree;
+  std::uint64_t seed = 0;
+  // When true, per-root PruneStats are recorded (paper Fig. 6 needs the
+  // labels-added trace; costs a vector of n entries).
+  bool record_trace = false;
+};
+
+struct SerialBuildResult {
+  LabelStore store;                     // rank space
+  std::vector<graph::VertexId> order;   // rank -> original vertex id
+  double indexing_seconds = 0.0;
+  // Aggregate operation counts across all roots.
+  PruneStats totals;
+  // Per-root stats in indexing order; empty unless record_trace.
+  std::vector<PruneStats> trace;
+};
+
+// Runs Pruned Dijkstra from every vertex in ranking order.
+SerialBuildResult BuildSerial(const graph::Graph& g,
+                              const SerialBuildOptions& options = {});
+
+// Accumulates `increment` into `total` field-by-field.
+void Accumulate(PruneStats& total, const PruneStats& increment);
+
+}  // namespace parapll::pll

@@ -1,0 +1,76 @@
+#include "pll/verify.hpp"
+
+#include <sstream>
+
+#include "baseline/dijkstra.hpp"
+#include "baseline/oracle.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace parapll::pll {
+
+std::string VerifyResult::ToString() const {
+  std::ostringstream out;
+  out << "checked " << pairs_checked << " pairs, " << mismatches
+      << " mismatches";
+  if (mismatches > 0) {
+    out << " (first: d(" << bad_s << "," << bad_t << ") expected " << expected
+        << " got " << actual << ")";
+  }
+  return out.str();
+}
+
+namespace {
+
+void Record(VerifyResult& result, graph::VertexId s, graph::VertexId t,
+            graph::Distance expected, graph::Distance actual) {
+  ++result.pairs_checked;
+  if (expected == actual) {
+    return;
+  }
+  if (result.mismatches == 0) {
+    result.bad_s = s;
+    result.bad_t = t;
+    result.expected = expected;
+    result.actual = actual;
+  }
+  ++result.mismatches;
+}
+
+}  // namespace
+
+VerifyResult VerifySampled(const graph::Graph& g, const Index& index,
+                           std::size_t pairs, std::uint64_t seed) {
+  PARAPLL_CHECK(g.NumVertices() == index.NumVertices());
+  VerifyResult result;
+  const graph::VertexId n = g.NumVertices();
+  if (n == 0) {
+    return result;
+  }
+  util::Rng rng(seed);
+  baseline::DistanceOracle oracle(g);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto s = static_cast<graph::VertexId>(rng.Below(n));
+    // 1-in-32 samples test the s == t reflexive case.
+    const auto t = rng.Below(32) == 0
+                       ? s
+                       : static_cast<graph::VertexId>(rng.Below(n));
+    Record(result, s, t, oracle.Query(s, t), index.Query(s, t));
+  }
+  return result;
+}
+
+VerifyResult VerifyExhaustive(const graph::Graph& g, const Index& index) {
+  PARAPLL_CHECK(g.NumVertices() == index.NumVertices());
+  VerifyResult result;
+  const graph::VertexId n = g.NumVertices();
+  for (graph::VertexId s = 0; s < n; ++s) {
+    const auto dist = baseline::DijkstraAll(g, s);
+    for (graph::VertexId t = 0; t < n; ++t) {
+      Record(result, s, t, dist[t], index.Query(s, t));
+    }
+  }
+  return result;
+}
+
+}  // namespace parapll::pll

@@ -1,0 +1,34 @@
+// Verification harness: checks an Index against Dijkstra ground truth.
+// Used by the test suite and the examples' self-checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "pll/index.hpp"
+
+namespace parapll::pll {
+
+struct VerifyResult {
+  std::size_t pairs_checked = 0;
+  std::size_t mismatches = 0;
+  // First observed mismatch (valid iff mismatches > 0).
+  graph::VertexId bad_s = 0;
+  graph::VertexId bad_t = 0;
+  graph::Distance expected = 0;
+  graph::Distance actual = 0;
+
+  [[nodiscard]] bool Ok() const { return mismatches == 0; }
+  [[nodiscard]] std::string ToString() const;
+};
+
+// Checks `pairs` uniformly random (s, t) pairs (including s == t edge
+// cases occasionally) against a memoized Dijkstra oracle.
+VerifyResult VerifySampled(const graph::Graph& g, const Index& index,
+                           std::size_t pairs, std::uint64_t seed);
+
+// Checks every pair — O(n²) queries plus n Dijkstras; for small graphs.
+VerifyResult VerifyExhaustive(const graph::Graph& g, const Index& index);
+
+}  // namespace parapll::pll

@@ -1,0 +1,41 @@
+// Lightweight runtime checks used across the library.
+//
+// PARAPLL_CHECK is always on (cheap, used for API preconditions);
+// PARAPLL_DCHECK compiles away in release builds (used on hot paths).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parapll::util {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace parapll::util
+
+#define PARAPLL_CHECK(expr)                                             \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::parapll::util::CheckFailed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                   \
+  } while (false)
+
+#define PARAPLL_CHECK_MSG(expr, msg)                                    \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::parapll::util::CheckFailed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define PARAPLL_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define PARAPLL_DCHECK(expr) PARAPLL_CHECK(expr)
+#endif

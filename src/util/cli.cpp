@@ -1,0 +1,104 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace parapll::util {
+
+ArgParser& ArgParser::Flag(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  PARAPLL_CHECK_MSG(values_.find(name) == values_.end(), "duplicate flag");
+  specs_.emplace_back(name, Spec{default_value, help});
+  values_[name] = default_value;
+  return *this;
+}
+
+bool ArgParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   Usage().c_str());
+      return false;
+    }
+    if (!has_value) {
+      // Boolean form, or space-separated value for non-boolean flags.
+      const bool next_is_value =
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+      const std::string& def = it->second;
+      const bool is_bool_flag = def == "true" || def == "false";
+      if (is_bool_flag || !next_is_value) {
+        value = "true";
+      } else {
+        value = argv[++i];
+      }
+    }
+    it->second = value;
+  }
+  return true;
+}
+
+std::string ArgParser::GetString(const std::string& name) const {
+  const auto it = values_.find(name);
+  PARAPLL_CHECK_MSG(it != values_.end(), "undeclared flag");
+  return it->second;
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& name) const {
+  const std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string ArgParser::Usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name << " (default: " << spec.default_value << ")\n"
+        << "      " << spec.help << "\n";
+  }
+  return out.str();
+}
+
+std::vector<int> ParseIntList(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) {
+      out.push_back(static_cast<int>(std::strtol(token.c_str(), nullptr, 10)));
+    }
+  }
+  return out;
+}
+
+}  // namespace parapll::util

@@ -1,0 +1,56 @@
+// Tiny command-line flag parser shared by the bench harnesses and examples.
+//
+// Supports --flag=value, --flag value, and boolean --flag forms.
+// Unknown flags are an error; positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parapll::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  // Declares a flag with a default value and help text. Returns *this so
+  // declarations chain.
+  ArgParser& Flag(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  // Parses argv. On "--help" prints usage and returns false; on a malformed
+  // or unknown flag prints an error plus usage and returns false.
+  bool Parse(int argc, char** argv);
+
+  [[nodiscard]] std::string GetString(const std::string& name) const;
+  [[nodiscard]] std::int64_t GetInt(const std::string& name) const;
+  [[nodiscard]] double GetDouble(const std::string& name) const;
+  [[nodiscard]] bool GetBool(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& Positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string Usage() const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+// Parses a comma-separated list of integers, e.g. "1,2,4,8".
+std::vector<int> ParseIntList(const std::string& csv);
+
+}  // namespace parapll::util

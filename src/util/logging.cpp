@@ -1,0 +1,59 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace parapll::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
+             ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char message[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file),
+               line, message);
+}
+
+}  // namespace parapll::util

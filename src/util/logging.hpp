@@ -1,0 +1,40 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage:
+//   LOG_INFO("indexed %zu vertices in %s", n, FormatDuration(t).c_str());
+// Verbosity is controlled globally via SetLogLevel (default: kInfo).
+#pragma once
+
+#include <cstdarg>
+
+namespace parapll::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style; prefer the LOG_* macros below.
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace parapll::util
+
+#define LOG_DEBUG(...)                                                        \
+  ::parapll::util::LogImpl(::parapll::util::LogLevel::kDebug, __FILE__,       \
+                           __LINE__, __VA_ARGS__)
+#define LOG_INFO(...)                                                         \
+  ::parapll::util::LogImpl(::parapll::util::LogLevel::kInfo, __FILE__,        \
+                           __LINE__, __VA_ARGS__)
+#define LOG_WARN(...)                                                         \
+  ::parapll::util::LogImpl(::parapll::util::LogLevel::kWarn, __FILE__,        \
+                           __LINE__, __VA_ARGS__)
+#define LOG_ERROR(...)                                                        \
+  ::parapll::util::LogImpl(::parapll::util::LogLevel::kError, __FILE__,       \
+                           __LINE__, __VA_ARGS__)

@@ -1,0 +1,60 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace parapll::util {
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 seeder(seed);
+  for (auto& s : s_) {
+    s = seeder.Next();
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  PARAPLL_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::Range(std::int64_t lo, std::int64_t hi) {
+  PARAPLL_DCHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? Next() : Below(span));
+}
+
+double Rng::Real() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::Fork(std::uint64_t salt) const {
+  SplitMix64 mixer(s_[0] ^ Rotl(salt, 32) ^ s_[3]);
+  return Rng(mixer.Next());
+}
+
+}  // namespace parapll::util

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through these generators so that
+// every graph, workload and schedule is reproducible from an explicit seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parapll::util {
+
+// SplitMix64 — used to seed other generators and for cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** — the main generator: fast, high quality, 64-bit output.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL);
+
+  // Uniform over all 64-bit values.
+  std::uint64_t Next();
+
+  // UniformRandomBitGenerator interface (usable with <random> adaptors).
+  std::uint64_t operator()() { return Next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  // Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t Below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi]. Requires lo <= hi.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [0, 1).
+  double Real();
+
+  // Bernoulli trial with success probability p.
+  bool Chance(double p) { return Real() < p; }
+
+  // A fresh generator deterministically derived from this one plus `salt`;
+  // used to give each worker / each dataset an independent stream.
+  [[nodiscard]] Rng Fork(std::uint64_t salt) const;
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = Below(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace parapll::util

@@ -1,0 +1,112 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace parapll::util {
+
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  PARAPLL_DCHECK(q >= 0.0 && q <= 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(std::vector<double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) {
+    return s;
+  }
+  std::sort(sample.begin(), sample.end());
+  double sum = 0.0;
+  for (double v : sample) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(sample.size());
+  double var = 0.0;
+  for (double v : sample) {
+    var += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = sample.size() > 1
+                 ? std::sqrt(var / static_cast<double>(sample.size() - 1))
+                 : 0.0;
+  s.min = sample.front();
+  s.max = sample.back();
+  s.p50 = SortedQuantile(sample, 0.50);
+  s.p90 = SortedQuantile(sample, 0.90);
+  s.p99 = SortedQuantile(sample, 0.99);
+  return s;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> IntHistogram::Items()
+    const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::uint64_t IntHistogram::Total() const {
+  std::uint64_t total = 0;
+  for (const auto& [value, count] : counts_) {
+    total += count;
+  }
+  return total;
+}
+
+std::string IntHistogram::ToString() const {
+  std::ostringstream out;
+  for (const auto& [value, count] : counts_) {
+    out << value << ' ' << count << '\n';
+  }
+  return out.str();
+}
+
+void CumulativeSeries::Append(std::uint64_t increment) {
+  const std::uint64_t prev = cumulative_.empty() ? 0 : cumulative_.back();
+  cumulative_.push_back(prev + increment);
+}
+
+double CumulativeSeries::FractionAt(std::size_t step) const {
+  if (cumulative_.empty() || cumulative_.back() == 0) {
+    return 1.0;
+  }
+  if (step == 0) {
+    return 0.0;
+  }
+  const std::size_t idx = std::min(step, cumulative_.size()) - 1;
+  return static_cast<double>(cumulative_[idx]) /
+         static_cast<double>(cumulative_.back());
+}
+
+std::vector<std::pair<std::size_t, double>> CumulativeSeries::SampleGeometric(
+    std::size_t points) const {
+  std::vector<std::pair<std::size_t, double>> out;
+  if (cumulative_.empty() || points == 0) {
+    return out;
+  }
+  const double n = static_cast<double>(cumulative_.size());
+  const double ratio =
+      std::pow(n, 1.0 / static_cast<double>(std::max<std::size_t>(points, 2) - 1));
+  double x = 1.0;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < points; ++i) {
+    auto step = static_cast<std::size_t>(std::llround(x));
+    step = std::min(std::max<std::size_t>(step, last + 1), cumulative_.size());
+    out.emplace_back(step, FractionAt(step));
+    last = step;
+    if (step == cumulative_.size()) {
+      break;
+    }
+    x *= ratio;
+  }
+  return out;
+}
+
+}  // namespace parapll::util

@@ -1,0 +1,73 @@
+// Descriptive statistics and histograms used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parapll::util {
+
+// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Computes summary statistics; tolerates an empty sample (all zeros).
+Summary Summarize(std::vector<double> sample);
+
+// Quantile of an already *sorted* sample, q in [0, 1].
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+// Degree-distribution style histogram: exact counts per integer value.
+// Suitable for paper Figure 5 (log–log degree plots).
+class IntHistogram {
+ public:
+  void Add(std::uint64_t value) { ++counts_[value]; }
+
+  // (value, count) pairs in increasing value order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> Items()
+      const;
+
+  [[nodiscard]] std::uint64_t Total() const;
+
+  // Renders "value count" lines, one per distinct value.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+};
+
+// Running cumulative distribution over a sequence of per-step increments;
+// used for paper Figure 6 (CDF of labels added by the x-th Pruned Dijkstra).
+class CumulativeSeries {
+ public:
+  void Append(std::uint64_t increment);
+
+  // Fraction of the final total accumulated by step `step` (1-based,
+  // clamped). Returns 1.0 for an empty series.
+  [[nodiscard]] double FractionAt(std::size_t step) const;
+
+  [[nodiscard]] std::size_t Steps() const { return cumulative_.size(); }
+  [[nodiscard]] std::uint64_t Total() const {
+    return cumulative_.empty() ? 0 : cumulative_.back();
+  }
+
+  // Samples the CDF at `points` step positions spread geometrically,
+  // returning (step, fraction) pairs — what Figure 6 plots.
+  [[nodiscard]] std::vector<std::pair<std::size_t, double>> SampleGeometric(
+      std::size_t points) const;
+
+ private:
+  std::vector<std::uint64_t> cumulative_;
+};
+
+}  // namespace parapll::util

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace parapll::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PARAPLL_CHECK(!header_.empty());
+}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& value) {
+  PARAPLL_CHECK_MSG(!rows_.empty(), "Cell before Row");
+  PARAPLL_CHECK_MSG(rows_.back().size() < header_.size(), "row overflow");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(const char* value) { return Cell(std::string(value)); }
+
+Table& Table::Cell(std::int64_t value) { return Cell(std::to_string(value)); }
+Table& Table::Cell(std::uint64_t value) { return Cell(std::to_string(value)); }
+Table& Table::Cell(int value) { return Cell(std::to_string(value)); }
+
+Table& Table::Cell(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return Cell(std::string(buf));
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      out << (c == 0 ? "" : "  ");
+      out << text << std::string(widths[c] - text.size(), ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace parapll::util

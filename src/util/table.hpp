@@ -1,0 +1,36 @@
+// Aligned text-table rendering.
+//
+// The paper's evaluation is mostly tables (Tables 3–5); each bench binary
+// regenerates its table through this printer so rows can be compared 1:1
+// with the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parapll::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Starts a new row; subsequent Cell() calls fill it left to right.
+  Table& Row();
+  Table& Cell(const std::string& value);
+  Table& Cell(const char* value);
+  Table& Cell(std::int64_t value);
+  Table& Cell(std::uint64_t value);
+  Table& Cell(int value);
+  // Doubles are rendered with `decimals` fraction digits.
+  Table& Cell(double value, int decimals = 2);
+
+  [[nodiscard]] std::string Render() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parapll::util

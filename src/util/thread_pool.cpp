@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace parapll::util {
+
+ThreadPool::ThreadPool(std::size_t size) {
+  PARAPLL_CHECK(size >= 1);
+  workers_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void(std::size_t)> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PARAPLL_CHECK_MSG(!stopping_, "Submit after shutdown");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker) {
+  for (;;) {
+    std::function<void(std::size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(std::size_t threads, std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  PARAPLL_CHECK(threads >= 1);
+  if (count == 0) {
+    return;
+  }
+  threads = std::min(threads, count);
+  std::vector<std::thread> group;
+  group.reserve(threads);
+  const std::size_t chunk = (count + threads - 1) / threads;
+  for (std::size_t w = 0; w < threads; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, count);
+    group.emplace_back([w, begin, end, &body] {
+      for (std::size_t i = begin; i < end; ++i) {
+        body(w, i);
+      }
+    });
+  }
+  for (auto& t : group) {
+    t.join();
+  }
+}
+
+}  // namespace parapll::util

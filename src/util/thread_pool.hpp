@@ -1,0 +1,56 @@
+// A small fixed-size thread pool.
+//
+// Workers are identified by a dense index [0, size), which the ParaPLL
+// indexers use for per-thread scratch arrays (the "several arrays of
+// length |V| within each thread" the paper mentions).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace parapll::util {
+
+class ThreadPool {
+ public:
+  // Spawns `size` workers. Requires size >= 1.
+  explicit ThreadPool(std::size_t size);
+
+  // Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t Size() const { return workers_.size(); }
+
+  // Enqueues a task; the task receives the index of the worker running it.
+  void Submit(std::function<void(std::size_t worker)> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+ private:
+  void WorkerLoop(std::size_t worker);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void(std::size_t)>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+// Runs `count` iterations of `body(worker, index)` across `threads`
+// OS threads (contiguous block partition). A convenience for tests and
+// one-shot parallel loops; the indexers use ThreadPool directly.
+void ParallelFor(std::size_t threads, std::size_t count,
+                 const std::function<void(std::size_t worker,
+                                          std::size_t index)>& body);
+
+}  // namespace parapll::util

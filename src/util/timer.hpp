@@ -1,0 +1,66 @@
+// Wall-clock timing utilities.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace parapll::util {
+
+// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction / last Reset().
+  [[nodiscard]] double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Milliseconds elapsed since construction / last Reset().
+  [[nodiscard]] double Millis() const { return Seconds() * 1e3; }
+
+  // Microseconds elapsed since construction / last Reset().
+  [[nodiscard]] double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates elapsed time across multiple start/stop intervals.
+// Used for e.g. separating communication from computation time.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_ += timer_.Seconds(); }
+  void Add(double seconds) { total_ += seconds; }
+  void Reset() { total_ = 0.0; }
+  [[nodiscard]] double Seconds() const { return total_; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+// RAII guard that adds its lifetime to an AccumulatingTimer.
+class ScopedAccumulate {
+ public:
+  explicit ScopedAccumulate(AccumulatingTimer& acc) : acc_(acc) {
+    acc_.Start();
+  }
+  ~ScopedAccumulate() { acc_.Stop(); }
+  ScopedAccumulate(const ScopedAccumulate&) = delete;
+  ScopedAccumulate& operator=(const ScopedAccumulate&) = delete;
+
+ private:
+  AccumulatingTimer& acc_;
+};
+
+// Formats a duration like "1.23s" / "45.6ms" / "789us" for human output.
+std::string FormatDuration(double seconds);
+
+}  // namespace parapll::util

@@ -1,0 +1,25 @@
+#include "vtime/cost_model.hpp"
+
+#include "pll/serial_pll.hpp"
+
+namespace parapll::vtime {
+
+double CostModel::Units(const pll::PruneStats& stats) const {
+  return task_overhead + settle * static_cast<double>(stats.settled) +
+         relax * static_cast<double>(stats.relaxations) +
+         push * static_cast<double>(stats.heap_pushes) +
+         probe * static_cast<double>(stats.probe_entries) +
+         append * static_cast<double>(stats.labels_added);
+}
+
+double CalibrateSecondsPerUnit(const graph::Graph& g, const CostModel& model) {
+  pll::SerialBuildOptions options;
+  const pll::SerialBuildResult result = pll::BuildSerial(g, options);
+  const double units = model.Units(result.totals);
+  if (units <= 0.0) {
+    return 0.0;
+  }
+  return result.indexing_seconds / units;
+}
+
+}  // namespace parapll::vtime

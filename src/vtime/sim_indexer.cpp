@@ -1,0 +1,106 @@
+#include "vtime/sim_indexer.hpp"
+
+#include <algorithm>
+
+#include "pll/serial_pll.hpp"
+#include "util/check.hpp"
+#include "vtime/timestamped_labels.hpp"
+
+namespace parapll::vtime {
+
+namespace {
+
+// Per-worker static queues (round-robin pre-assignment, paper Fig. 2) or a
+// single shared cursor (dynamic, paper Fig. 3 / Alg. 2).
+struct Schedule {
+  explicit Schedule(const SimBuildOptions& options, graph::VertexId n)
+      : policy(options.policy), total(n) {
+    if (policy == parallel::AssignmentPolicy::kStatic) {
+      next_static.assign(options.workers, 0);
+      stride = static_cast<graph::VertexId>(options.workers);
+    }
+  }
+
+  // The next root worker w would run, or kInvalidVertex when w is done.
+  [[nodiscard]] graph::VertexId Peek(std::size_t w) const {
+    if (policy == parallel::AssignmentPolicy::kStatic) {
+      const graph::VertexId root =
+          static_cast<graph::VertexId>(w) + next_static[w] * stride;
+      return root < total ? root : graph::kInvalidVertex;
+    }
+    return shared_cursor < total ? shared_cursor : graph::kInvalidVertex;
+  }
+
+  void Advance(std::size_t w) {
+    if (policy == parallel::AssignmentPolicy::kStatic) {
+      ++next_static[w];
+    } else {
+      ++shared_cursor;
+    }
+  }
+
+  parallel::AssignmentPolicy policy;
+  graph::VertexId total;
+  graph::VertexId shared_cursor = 0;
+  std::vector<graph::VertexId> next_static;
+  graph::VertexId stride = 1;
+};
+
+}  // namespace
+
+SimBuildResult BuildSimulated(const graph::Graph& g,
+                              const SimBuildOptions& options) {
+  PARAPLL_CHECK(options.workers >= 1);
+  SimBuildResult result;
+  result.order = pll::ComputeOrder(g, options.ordering, options.seed);
+  const graph::Graph rank_graph = pll::ToRankSpace(g, result.order);
+  const graph::VertexId n = rank_graph.NumVertices();
+
+  TimestampedLabels labels(n);
+  pll::PruneScratch scratch(n);
+  Schedule schedule(options, n);
+  result.worker_units.assign(options.workers, 0.0);
+  if (options.record_trace) {
+    result.trace.reserve(n);
+  }
+
+  // Event loop: repeatedly run the task with the earliest start time,
+  // i.e. the next task of the worker with the minimum clock.
+  for (;;) {
+    std::size_t chosen = options.workers;
+    double best_clock = 0.0;
+    for (std::size_t w = 0; w < options.workers; ++w) {
+      if (schedule.Peek(w) == graph::kInvalidVertex) {
+        continue;
+      }
+      if (chosen == options.workers || result.worker_units[w] < best_clock) {
+        chosen = w;
+        best_clock = result.worker_units[w];
+      }
+    }
+    if (chosen == options.workers) {
+      break;  // all queues drained
+    }
+    const graph::VertexId root = schedule.Peek(chosen);
+    schedule.Advance(chosen);
+
+    SimLabelView view(labels, rank_graph, options.cost,
+                      result.worker_units[chosen]);
+    const pll::PruneStats stats =
+        pll::PrunedDijkstra(rank_graph, root, view, scratch);
+    const double task_units = options.cost.Units(stats);
+    result.worker_units[chosen] += task_units;
+    result.total_units += task_units;
+    pll::Accumulate(result.totals, stats);
+    if (options.record_trace) {
+      result.trace.emplace_back(root, stats.labels_added);
+    }
+  }
+
+  result.makespan_units = *std::max_element(result.worker_units.begin(),
+                                            result.worker_units.end());
+  result.store = labels.Finalize();
+  return result;
+}
+
+}  // namespace parapll::vtime

@@ -1,0 +1,27 @@
+#include "vtime/timestamped_labels.hpp"
+
+namespace parapll::vtime {
+
+std::size_t TimestampedLabels::TotalEntries() const {
+  std::size_t total = 0;
+  for (const auto& row : rows_) {
+    total += row.size();
+  }
+  return total;
+}
+
+pll::LabelStore TimestampedLabels::Finalize() const {
+  std::vector<std::vector<pll::LabelEntry>> rows;
+  rows.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<pll::LabelEntry> plain;
+    plain.reserve(row.size());
+    for (const Entry& e : row) {
+      plain.push_back(pll::LabelEntry{e.hub, e.dist});
+    }
+    rows.push_back(std::move(plain));
+  }
+  return pll::LabelStore::FromRows(std::move(rows));
+}
+
+}  // namespace parapll::vtime

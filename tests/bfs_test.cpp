@@ -1,0 +1,58 @@
+#include "baseline/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/generators.hpp"
+
+namespace parapll::baseline {
+namespace {
+
+using graph::WeightModel;
+using graph::WeightOptions;
+
+TEST(Bfs, HopCountsOnPath) {
+  const Graph g = graph::Path(5, WeightOptions{WeightModel::kUniform, 9}, 1);
+  const auto dist = BfsAll(g, 0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[v], v);  // hops, regardless of weights
+  }
+}
+
+TEST(Bfs, MatchesDijkstraOnUnitWeights) {
+  const Graph g = graph::ErdosRenyi(
+      60, 150, WeightOptions{WeightModel::kUnit, 1}, 3);
+  for (VertexId s = 0; s < g.NumVertices(); s += 9) {
+    const auto bfs = BfsAll(g, s);
+    const auto dij = DijkstraAll(g, s);
+    EXPECT_EQ(bfs, dij);
+  }
+}
+
+TEST(Bfs, IgnoresWeights) {
+  // Weighted triangle: hop distance is 1 even if the direct edge is heavy.
+  const std::vector<graph::Edge> edges = {{0, 1, 100}, {0, 2, 1}, {2, 1, 1}};
+  const Graph g = Graph::FromEdges(3, edges);
+  EXPECT_EQ(BfsOne(g, 0, 1), 1u);
+  EXPECT_EQ(DijkstraOne(g, 0, 1), 2u);
+}
+
+TEST(Bfs, UnreachableAndSelf) {
+  const std::vector<graph::Edge> edges = {{0, 1, 1}};
+  const Graph g = Graph::FromEdges(3, edges);
+  EXPECT_EQ(BfsOne(g, 0, 2), graph::kInfiniteDistance);
+  EXPECT_EQ(BfsOne(g, 2, 2), 0u);
+  EXPECT_EQ(BfsAll(g, 0)[2], graph::kInfiniteDistance);
+}
+
+TEST(Bfs, OneMatchesAll) {
+  const Graph g = graph::BarabasiAlbert(
+      70, 2, WeightOptions{WeightModel::kUnit, 1}, 4);
+  const auto dist = BfsAll(g, 10);
+  for (VertexId t = 0; t < g.NumVertices(); t += 3) {
+    EXPECT_EQ(BfsOne(g, 10, t), dist[t]);
+  }
+}
+
+}  // namespace
+}  // namespace parapll::baseline

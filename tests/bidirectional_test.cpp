@@ -1,0 +1,54 @@
+#include "baseline/bidirectional_dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace parapll::baseline {
+namespace {
+
+using graph::WeightModel;
+using graph::WeightOptions;
+
+TEST(BidirectionalDijkstra, SimpleCases) {
+  const Graph g = graph::Path(6, WeightOptions{WeightModel::kUnit, 1}, 1);
+  EXPECT_EQ(BidirectionalDijkstra(g, 0, 5), 5u);
+  EXPECT_EQ(BidirectionalDijkstra(g, 2, 2), 0u);
+  EXPECT_EQ(BidirectionalDijkstra(g, 5, 0), 5u);
+}
+
+TEST(BidirectionalDijkstra, Disconnected) {
+  const std::vector<graph::Edge> edges = {{0, 1, 1}, {2, 3, 1}};
+  const Graph g = Graph::FromEdges(4, edges);
+  EXPECT_EQ(BidirectionalDijkstra(g, 0, 3), graph::kInfiniteDistance);
+}
+
+TEST(BidirectionalDijkstra, MatchesUnidirectionalOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = graph::ErdosRenyi(
+        80, 200, WeightOptions{WeightModel::kUniform, 40}, seed);
+    util::Rng rng(seed);
+    for (int i = 0; i < 60; ++i) {
+      const auto s = static_cast<VertexId>(rng.Below(g.NumVertices()));
+      const auto t = static_cast<VertexId>(rng.Below(g.NumVertices()));
+      ASSERT_EQ(BidirectionalDijkstra(g, s, t), DijkstraOne(g, s, t))
+          << "seed " << seed << " pair (" << s << "," << t << ")";
+    }
+  }
+}
+
+TEST(BidirectionalDijkstra, MatchesOnRoadLikeGraphs) {
+  const Graph g = graph::RoadGrid(
+      12, 12, 0.75, 4, WeightOptions{WeightModel::kRoadLike, 100}, 6);
+  util::Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    const auto s = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    ASSERT_EQ(BidirectionalDijkstra(g, s, t), DijkstraOne(g, s, t));
+  }
+}
+
+}  // namespace
+}  // namespace parapll::baseline

@@ -1,0 +1,91 @@
+#include "core/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pll/verify.hpp"
+
+namespace parapll {
+namespace {
+
+using graph::Graph;
+using graph::WeightModel;
+using graph::WeightOptions;
+
+Graph TestGraph(std::uint64_t seed) {
+  return graph::BarabasiAlbert(
+      100, 3, WeightOptions{WeightModel::kUniform, 10}, seed);
+}
+
+TEST(IndexBuilder, EveryModeProducesExactIndex) {
+  const Graph g = TestGraph(91);
+  for (const BuildMode mode :
+       {BuildMode::kSerial, BuildMode::kParallel, BuildMode::kSimulated,
+        BuildMode::kCluster}) {
+    BuildReport report;
+    const pll::Index index = IndexBuilder()
+                                 .Mode(mode)
+                                 .Threads(3)
+                                 .Nodes(2)
+                                 .SyncCount(2)
+                                 .Build(g, &report);
+    const auto verdict = pll::VerifyExhaustive(g, index);
+    EXPECT_TRUE(verdict.Ok()) << ToString(mode) << ": " << verdict.ToString();
+    EXPECT_EQ(report.mode, mode);
+    EXPECT_GT(report.avg_label_size, 0.0);
+    EXPECT_GT(report.total_label_entries, 0u);
+    EXPECT_GT(report.index_bytes, 0u);
+    EXPECT_GT(report.totals.labels_added, 0u);
+  }
+}
+
+TEST(IndexBuilder, ReportIsOptional) {
+  const Graph g = TestGraph(92);
+  const pll::Index index = IndexBuilder().Build(g);
+  EXPECT_EQ(index.NumVertices(), g.NumVertices());
+}
+
+TEST(IndexBuilder, SimulatedReportsMakespanBelowTotal) {
+  const Graph g = TestGraph(93);
+  BuildReport report;
+  (void)IndexBuilder()
+      .Mode(BuildMode::kSimulated)
+      .Threads(4)
+      .Build(g, &report);
+  EXPECT_GT(report.makespan_units, 0.0);
+  EXPECT_GT(report.total_units, report.makespan_units);
+}
+
+TEST(IndexBuilder, SerialMakespanEqualsTotalUnits) {
+  const Graph g = TestGraph(94);
+  BuildReport report;
+  (void)IndexBuilder().Mode(BuildMode::kSerial).Build(g, &report);
+  EXPECT_DOUBLE_EQ(report.makespan_units, report.total_units);
+}
+
+TEST(IndexBuilder, ModeNamesAreStable) {
+  EXPECT_EQ(ToString(BuildMode::kSerial), "serial");
+  EXPECT_EQ(ToString(BuildMode::kParallel), "parallel");
+  EXPECT_EQ(ToString(BuildMode::kSimulated), "simulated");
+  EXPECT_EQ(ToString(BuildMode::kCluster), "cluster");
+}
+
+TEST(IndexBuilder, OrderingAndPolicyKnobsAreHonored) {
+  const Graph g = TestGraph(95);
+  BuildReport degree_report;
+  (void)IndexBuilder()
+      .Mode(BuildMode::kSerial)
+      .Ordering(pll::OrderingPolicy::kDegree)
+      .Build(g, &degree_report);
+  BuildReport random_report;
+  (void)IndexBuilder()
+      .Mode(BuildMode::kSerial)
+      .Ordering(pll::OrderingPolicy::kRandom)
+      .Seed(123)
+      .Build(g, &random_report);
+  EXPECT_NE(degree_report.total_label_entries,
+            random_report.total_label_entries);
+}
+
+}  // namespace
+}  // namespace parapll

@@ -1,0 +1,109 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace parapll::util {
+namespace {
+
+// Builds an argv from string literals for Parse().
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) {
+      pointers_.push_back(s.data());
+    }
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+ArgParser MakeParser() {
+  ArgParser parser("test", "unit test parser");
+  parser.Flag("count", "10", "an integer flag")
+      .Flag("ratio", "0.5", "a double flag")
+      .Flag("name", "default", "a string flag")
+      .Flag("verbose", "false", "a boolean flag");
+  return parser;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser parser = MakeParser();
+  Argv argv({"test"});
+  ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.GetInt("count"), 10);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.5);
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_FALSE(parser.GetBool("verbose"));
+}
+
+TEST(ArgParser, EqualsForm) {
+  ArgParser parser = MakeParser();
+  Argv argv({"test", "--count=42", "--name=hello", "--ratio=0.25"});
+  ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.GetInt("count"), 42);
+  EXPECT_EQ(parser.GetString("name"), "hello");
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.25);
+}
+
+TEST(ArgParser, SpaceSeparatedForm) {
+  ArgParser parser = MakeParser();
+  Argv argv({"test", "--count", "7", "--name", "world"});
+  ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.GetInt("count"), 7);
+  EXPECT_EQ(parser.GetString("name"), "world");
+}
+
+TEST(ArgParser, BareBooleanFlag) {
+  ArgParser parser = MakeParser();
+  Argv argv({"test", "--verbose"});
+  ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv()));
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagFails) {
+  ArgParser parser = MakeParser();
+  Argv argv({"test", "--bogus=1"});
+  EXPECT_FALSE(parser.Parse(argv.argc(), argv.argv()));
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser parser = MakeParser();
+  Argv argv({"test", "--help"});
+  EXPECT_FALSE(parser.Parse(argv.argc(), argv.argv()));
+}
+
+TEST(ArgParser, PositionalArgumentsCollected) {
+  ArgParser parser = MakeParser();
+  Argv argv({"test", "input.txt", "--count=3", "output.txt"});
+  ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv()));
+  ASSERT_EQ(parser.Positional().size(), 2u);
+  EXPECT_EQ(parser.Positional()[0], "input.txt");
+  EXPECT_EQ(parser.Positional()[1], "output.txt");
+}
+
+TEST(ArgParser, UsageListsFlags) {
+  ArgParser parser = MakeParser();
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("an integer flag"), std::string::npos);
+}
+
+TEST(ParseIntListTest, ParsesCsv) {
+  const auto values = ParseIntList("1,2,4,8,12");
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 4, 8, 12}));
+}
+
+TEST(ParseIntListTest, EmptyAndSingleton) {
+  EXPECT_TRUE(ParseIntList("").empty());
+  EXPECT_EQ(ParseIntList("5"), std::vector<int>{5});
+  EXPECT_EQ(ParseIntList("3,,7"), (std::vector<int>{3, 7}));
+}
+
+}  // namespace
+}  // namespace parapll::util

@@ -1,0 +1,172 @@
+#include "cluster/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+
+namespace parapll::cluster {
+namespace {
+
+Payload Bytes(const std::string& text) {
+  return Payload(text.begin(), text.end());
+}
+
+std::string Text(const Payload& payload) {
+  return std::string(payload.begin(), payload.end());
+}
+
+TEST(Fabric, PointToPointDelivers) {
+  Fabric fabric(2);
+  fabric.Run([](Communicator& comm) {
+    if (comm.Rank() == 0) {
+      comm.Send(1, 7, Bytes("hello"));
+    } else {
+      EXPECT_EQ(Text(comm.Recv(0, 7)), "hello");
+    }
+  });
+  EXPECT_EQ(fabric.TotalBytesSent(), 5u);
+  EXPECT_EQ(fabric.TotalMessagesSent(), 1u);
+}
+
+TEST(Fabric, FifoOrderPerSourceAndTag) {
+  Fabric fabric(2);
+  fabric.Run([](Communicator& comm) {
+    if (comm.Rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.Send(1, 3, Bytes(std::to_string(i)));
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(Text(comm.Recv(0, 3)), std::to_string(i));
+      }
+    }
+  });
+}
+
+TEST(Fabric, TagMatchingSkipsOtherTags) {
+  Fabric fabric(2);
+  fabric.Run([](Communicator& comm) {
+    if (comm.Rank() == 0) {
+      comm.Send(1, 1, Bytes("first-tag"));
+      comm.Send(1, 2, Bytes("second-tag"));
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(Text(comm.Recv(0, 2)), "second-tag");
+      EXPECT_EQ(Text(comm.Recv(0, 1)), "first-tag");
+    }
+  });
+}
+
+TEST(Fabric, SourceMatching) {
+  Fabric fabric(3);
+  fabric.Run([](Communicator& comm) {
+    if (comm.Rank() != 2) {
+      comm.Send(2, 5, Bytes("from" + std::to_string(comm.Rank())));
+    } else {
+      EXPECT_EQ(Text(comm.Recv(1, 5)), "from1");
+      EXPECT_EQ(Text(comm.Recv(0, 5)), "from0");
+    }
+  });
+}
+
+TEST(Fabric, BarrierSynchronizesAllRanks) {
+  constexpr std::size_t kRanks = 5;
+  std::atomic<int> before_barrier{0};
+  std::atomic<bool> mismatch{false};
+  Fabric fabric(kRanks);
+  fabric.Run([&](Communicator& comm) {
+    before_barrier.fetch_add(1);
+    comm.Barrier();
+    if (before_barrier.load() != kRanks) {
+      mismatch = true;
+    }
+  });
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(Fabric, BroadcastFromEveryRoot) {
+  constexpr std::size_t kRanks = 6;
+  for (std::size_t root = 0; root < kRanks; ++root) {
+    Fabric fabric(kRanks);
+    fabric.Run([root](Communicator& comm) {
+      Payload mine =
+          comm.Rank() == root ? Bytes("payload-from-root") : Payload{};
+      const Payload got = comm.Broadcast(root, std::move(mine));
+      EXPECT_EQ(Text(got), "payload-from-root") << "rank " << comm.Rank();
+    });
+  }
+}
+
+TEST(Fabric, BroadcastSingleRankIsIdentity) {
+  Fabric fabric(1);
+  fabric.Run([](Communicator& comm) {
+    EXPECT_EQ(Text(comm.Broadcast(0, Bytes("solo"))), "solo");
+  });
+}
+
+TEST(Fabric, AllGatherReturnsEveryPayloadOnEveryRank) {
+  static constexpr std::size_t kRanks = 5;
+  Fabric fabric(kRanks);
+  fabric.Run([](Communicator& comm) {
+    const auto parts =
+        comm.AllGather(Bytes("rank" + std::to_string(comm.Rank())));
+    ASSERT_EQ(parts.size(), kRanks);
+    for (std::size_t r = 0; r < kRanks; ++r) {
+      EXPECT_EQ(Text(parts[r]), "rank" + std::to_string(r));
+    }
+  });
+}
+
+TEST(Fabric, AllGatherHandlesEmptyAndLargePayloads) {
+  Fabric fabric(3);
+  fabric.Run([](Communicator& comm) {
+    Payload mine;
+    if (comm.Rank() == 1) {
+      mine.assign(100000, static_cast<std::uint8_t>(0xAB));
+    }
+    const auto parts = comm.AllGather(std::move(mine));
+    EXPECT_TRUE(parts[0].empty());
+    EXPECT_EQ(parts[1].size(), 100000u);
+    EXPECT_EQ(parts[1][99999], 0xAB);
+    EXPECT_TRUE(parts[2].empty());
+  });
+}
+
+TEST(Fabric, RepeatedCollectivesInOneRun) {
+  Fabric fabric(4);
+  fabric.Run([](Communicator& comm) {
+    for (int round = 0; round < 8; ++round) {
+      const auto parts =
+          comm.AllGather(Bytes(std::to_string(round * 10 + 1)));
+      for (const auto& part : parts) {
+        EXPECT_EQ(Text(part), std::to_string(round * 10 + 1));
+      }
+      comm.Barrier();
+    }
+  });
+}
+
+TEST(Fabric, CountersAccumulateAcrossRuns) {
+  Fabric fabric(2);
+  fabric.Run([](Communicator& comm) {
+    if (comm.Rank() == 0) {
+      comm.Send(1, 1, Bytes("xy"));
+    } else {
+      comm.Recv(0, 1);
+    }
+  });
+  const auto after_first = fabric.TotalBytesSent();
+  fabric.Run([](Communicator& comm) {
+    if (comm.Rank() == 0) {
+      comm.Send(1, 1, Bytes("abc"));
+    } else {
+      comm.Recv(0, 1);
+    }
+  });
+  EXPECT_EQ(fabric.TotalBytesSent(), after_first + 3);
+}
+
+}  // namespace
+}  // namespace parapll::cluster

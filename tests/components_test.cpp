@@ -1,0 +1,83 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace parapll::graph {
+namespace {
+
+TEST(UnionFindTest, StartsAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  EXPECT_NE(uf.Find(0), uf.Find(1));
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsChange) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.SizeOf(0), 2u);
+}
+
+TEST(UnionFindTest, TransitiveUnions) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.Find(0), uf.Find(3));
+  EXPECT_EQ(uf.SizeOf(3), 4u);
+  EXPECT_EQ(uf.NumSets(), 3u);
+}
+
+TEST(Components, SingleComponentGraph) {
+  const Graph g = Cycle(10, WeightOptions{WeightModel::kUnit, 1}, 1);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(NumComponents(g), 1u);
+}
+
+TEST(Components, CountsAndLabels) {
+  // Two components plus an isolated vertex.
+  const std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}};
+  const Graph g = Graph::FromEdges(6, edges);
+  EXPECT_EQ(NumComponents(g), 3u);
+  EXPECT_FALSE(IsConnected(g));
+  const auto labels = ComponentLabels(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[0], labels[5]);
+  EXPECT_NE(labels[3], labels[5]);
+}
+
+TEST(Components, LargestComponentExtractsBiggest) {
+  // Component {0,1,2} (3 vertices) vs {3,4} (2).
+  const std::vector<Edge> edges = {{0, 1, 5}, {1, 2, 6}, {3, 4, 7}};
+  const Graph g = Graph::FromEdges(5, edges);
+  const Graph big = LargestComponent(g);
+  EXPECT_EQ(big.NumVertices(), 3u);
+  EXPECT_EQ(big.NumEdges(), 2u);
+  EXPECT_TRUE(IsConnected(big));
+  // Weights survive extraction.
+  EXPECT_EQ(big.TotalWeight(), 11u);
+}
+
+TEST(Components, LargestComponentOfConnectedIsIdentityShape) {
+  const Graph g = BarabasiAlbert(
+      60, 2, WeightOptions{WeightModel::kUniform, 10}, 3);
+  const Graph big = LargestComponent(g);
+  EXPECT_EQ(big.NumVertices(), g.NumVertices());
+  EXPECT_EQ(big.NumEdges(), g.NumEdges());
+}
+
+TEST(Components, EmptyGraphHasNoComponents) {
+  const Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(NumComponents(g), 0u);
+  EXPECT_TRUE(IsConnected(g));  // vacuous
+}
+
+}  // namespace
+}  // namespace parapll::graph

@@ -1,0 +1,79 @@
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/degree.hpp"
+
+namespace parapll::graph {
+namespace {
+
+TEST(Datasets, CatalogHasAllElevenPaperRows) {
+  const auto& catalog = PaperCatalog();
+  ASSERT_EQ(catalog.size(), 11u);
+  EXPECT_EQ(catalog.front().name, "Wiki-Vote");
+  EXPECT_EQ(catalog.back().name, "Euall");
+  // Paper Table 2 sizes are recorded verbatim.
+  EXPECT_EQ(catalog.front().paper_n, 7115u);
+  EXPECT_EQ(catalog.front().paper_m, 201524u);
+  EXPECT_EQ(catalog.back().paper_n, 265214u);
+}
+
+TEST(Datasets, FindByName) {
+  const auto spec = FindDataset("Skitter");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->graph_type, "Autonomous Systems");
+  EXPECT_FALSE(FindDataset("NoSuchGraph").has_value());
+}
+
+TEST(Datasets, InstancesAreDeterministic) {
+  const Graph a = MakeDatasetByName("Gnutella", 0.05, 42);
+  const Graph b = MakeDatasetByName("Gnutella", 0.05, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Datasets, ScaleShrinksSizes) {
+  const auto spec = *FindDataset("CondMat");
+  const Graph small = MakeDataset(spec, 0.02, 1);
+  const Graph larger = MakeDataset(spec, 0.08, 1);
+  EXPECT_LT(small.NumVertices(), larger.NumVertices());
+  EXPECT_LT(small.NumEdges(), larger.NumEdges());
+}
+
+TEST(Datasets, RoadNetworksAreFlatDegree) {
+  const Graph g = MakeDatasetByName("DE-USA", 0.05, 3);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_LE(stats.max, 12u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(Datasets, SocialNetworksArePowerLaw) {
+  const Graph g = MakeDatasetByName("Epinions", 0.05, 4);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_GT(static_cast<double>(stats.max), 5.0 * stats.mean);
+  EXPECT_LT(stats.log_log_slope, -0.5);
+}
+
+TEST(Datasets, EdgeDensityTracksPaperRatio) {
+  // m/n of the instance should be within 2x of the paper's ratio.
+  for (const auto& spec : PaperCatalog()) {
+    const Graph g = MakeDataset(spec, 0.05, 9);
+    const double paper_ratio = static_cast<double>(spec.paper_m) /
+                               static_cast<double>(spec.paper_n);
+    const double got_ratio = static_cast<double>(g.NumEdges()) /
+                             static_cast<double>(g.NumVertices());
+    EXPECT_GT(got_ratio, paper_ratio / 2.5) << spec.name;
+    EXPECT_LT(got_ratio, paper_ratio * 2.5) << spec.name;
+  }
+}
+
+TEST(Datasets, AllInstancesNonTrivial) {
+  for (const auto& spec : PaperCatalog()) {
+    const Graph g = MakeDataset(spec, 0.02, 11);
+    EXPECT_GE(g.NumVertices(), 64u) << spec.name;
+    EXPECT_GT(g.NumEdges(), g.NumVertices() / 2) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace parapll::graph

@@ -1,0 +1,74 @@
+#include "graph/degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace parapll::graph {
+namespace {
+
+TEST(DegreeOrder, SortsDescendingWithStableTies) {
+  // Star: center 0 has degree 4, leaves degree 1.
+  const Graph g = Star(5, WeightOptions{WeightModel::kUnit, 1}, 1);
+  const auto order = DescendingDegreeOrder(g);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 0u);
+  // Ties (all leaves) keep ascending id order (stable sort).
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 3u);
+  EXPECT_EQ(order[4], 4u);
+}
+
+TEST(DegreeOrder, IsAPermutation) {
+  const Graph g = BarabasiAlbert(
+      100, 3, WeightOptions{WeightModel::kUniform, 10}, 2);
+  const auto order = DescendingDegreeOrder(g);
+  std::vector<bool> seen(100, false);
+  for (const VertexId v : order) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(DegreeOrder, DegreesAreNonIncreasing) {
+  const Graph g = ErdosRenyi(
+      80, 200, WeightOptions{WeightModel::kUniform, 5}, 3);
+  const auto order = DescendingDegreeOrder(g);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(g.Degree(order[i - 1]), g.Degree(order[i]));
+  }
+}
+
+TEST(DegreeHistogramTest, StarShape) {
+  const Graph g = Star(6, WeightOptions{WeightModel::kUnit, 1}, 1);
+  const auto items = DegreeHistogram(g).Items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], std::make_pair(std::uint64_t{1}, std::uint64_t{5}));  // 5 leaves
+  EXPECT_EQ(items[1], std::make_pair(std::uint64_t{5}, std::uint64_t{1}));  // 1 center
+}
+
+TEST(DegreeStatsTest, CycleIsUniformDegreeTwo) {
+  const Graph g = Cycle(30, WeightOptions{WeightModel::kUnit, 1}, 1);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 2u);
+  EXPECT_EQ(stats.max, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  const Graph g = Graph::FromEdges(0, {});
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.max, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(DegreeStatsTest, MeanMatchesHandshakeLemma) {
+  const Graph g = ErdosRenyi(
+      50, 125, WeightOptions{WeightModel::kUniform, 5}, 4);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0 * 125 / 50);
+}
+
+}  // namespace
+}  // namespace parapll::graph

@@ -1,0 +1,53 @@
+#include "baseline/floyd_warshall.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/generators.hpp"
+
+namespace parapll::baseline {
+namespace {
+
+using graph::WeightModel;
+using graph::WeightOptions;
+
+TEST(FloydWarshallTest, TinyKnownGraph) {
+  const std::vector<graph::Edge> edges = {{0, 1, 4}, {1, 2, 3}, {0, 2, 9}};
+  const Graph g = Graph::FromEdges(3, edges);
+  const auto dist = FloydWarshall(g);
+  EXPECT_EQ(dist.Get(0, 0), 0u);
+  EXPECT_EQ(dist.Get(0, 1), 4u);
+  EXPECT_EQ(dist.Get(0, 2), 7u);  // via 1, not the direct 9
+  EXPECT_EQ(dist.Get(2, 0), 7u);  // symmetric
+}
+
+TEST(FloydWarshallTest, DisconnectedStaysInfinite) {
+  const std::vector<graph::Edge> edges = {{0, 1, 2}};
+  const Graph g = Graph::FromEdges(3, edges);
+  const auto dist = FloydWarshall(g);
+  EXPECT_EQ(dist.Get(0, 2), graph::kInfiniteDistance);
+  EXPECT_EQ(dist.Get(2, 2), 0u);
+}
+
+TEST(FloydWarshallTest, AgreesWithDijkstraEverywhere) {
+  const Graph g = graph::BarabasiAlbert(
+      50, 3, WeightOptions{WeightModel::kUniform, 25}, 15);
+  const auto matrix = FloydWarshall(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    const auto dist = DijkstraAll(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(matrix.Get(s, t), dist[t]);
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, SetGet) {
+  DistanceMatrix m(3, graph::kInfiniteDistance);
+  m.Set(1, 2, 42);
+  EXPECT_EQ(m.Get(1, 2), 42u);
+  EXPECT_EQ(m.Get(2, 1), graph::kInfiniteDistance);
+  EXPECT_EQ(m.Size(), 3u);
+}
+
+}  // namespace
+}  // namespace parapll::baseline

@@ -1,0 +1,110 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/degree.hpp"
+
+namespace parapll::graph {
+namespace {
+
+const WeightOptions kUnit{WeightModel::kUnit, 1};
+const WeightOptions kUniform{WeightModel::kUniform, 20};
+
+TEST(Generators, ErdosRenyiHasExactCounts) {
+  const Graph g = ErdosRenyi(100, 300, kUniform, 1);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 300u);
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  EXPECT_EQ(ErdosRenyi(50, 100, kUniform, 9), ErdosRenyi(50, 100, kUniform, 9));
+  EXPECT_NE(ErdosRenyi(50, 100, kUniform, 9),
+            ErdosRenyi(50, 100, kUniform, 10));
+}
+
+TEST(Generators, WeightsRespectModel) {
+  const Graph unit = ErdosRenyi(40, 80, kUnit, 2);
+  EXPECT_EQ(unit.MaxWeight(), 1u);
+  const Graph weighted = ErdosRenyi(40, 80, {WeightModel::kUniform, 7}, 2);
+  EXPECT_LE(weighted.MaxWeight(), 7u);
+  EXPECT_GE(weighted.MaxWeight(), 1u);
+}
+
+TEST(Generators, BarabasiAlbertIsConnectedPowerLaw) {
+  const Graph g = BarabasiAlbert(500, 3, kUniform, 3);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  EXPECT_TRUE(IsConnected(g));
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_GE(stats.min, 3u);
+  // Power law: heavy tail with hubs far above the mean.
+  EXPECT_GT(static_cast<double>(stats.max), 4.0 * stats.mean);
+  EXPECT_LT(stats.log_log_slope, -0.5);
+}
+
+TEST(Generators, RmatProducesSkewedDegrees) {
+  const Graph g = Rmat(9, 2000, {}, kUniform, 4);
+  EXPECT_EQ(g.NumVertices(), 512u);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_GT(static_cast<double>(stats.max), 3.0 * stats.mean);
+}
+
+TEST(Generators, WattsStrogatzDegreeNearRingDegree) {
+  const Graph g = WattsStrogatz(200, 3, 0.1, kUniform, 5);
+  EXPECT_EQ(g.NumVertices(), 200u);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_NEAR(stats.mean, 6.0, 0.6);
+}
+
+TEST(Generators, RoadGridIsConnectedAndFlat) {
+  const Graph g = RoadGrid(20, 20, 0.7, 5, kUniform, 6);
+  EXPECT_EQ(g.NumVertices(), 400u);
+  EXPECT_TRUE(IsConnected(g));
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_LE(stats.max, 10u);  // grid + a few highways: flat degrees
+}
+
+TEST(Generators, RoadGridFullKeepHasLatticeEdgeCount) {
+  const Graph g = RoadGrid(10, 10, 1.0, 0, kUnit, 7);
+  // rows*(cols-1) + (rows-1)*cols = 90 + 90
+  EXPECT_EQ(g.NumEdges(), 180u);
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = Complete(8, kUnit, 8);
+  EXPECT_EQ(g.NumEdges(), 28u);
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(g.Degree(v), 7u);
+  }
+}
+
+TEST(Generators, PathStarCycleShapes) {
+  const Graph path = Path(10, kUnit, 1);
+  EXPECT_EQ(path.NumEdges(), 9u);
+  EXPECT_EQ(path.Degree(0), 1u);
+  EXPECT_EQ(path.Degree(5), 2u);
+
+  const Graph star = Star(10, kUnit, 1);
+  EXPECT_EQ(star.NumEdges(), 9u);
+  EXPECT_EQ(star.Degree(0), 9u);
+  EXPECT_EQ(star.Degree(3), 1u);
+
+  const Graph cycle = Cycle(10, kUnit, 1);
+  EXPECT_EQ(cycle.NumEdges(), 10u);
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_EQ(cycle.Degree(v), 2u);
+  }
+}
+
+TEST(Generators, DrawWeightRoadLikeStaysInRange) {
+  util::Rng rng(10);
+  const WeightOptions road{WeightModel::kRoadLike, 100};
+  for (int i = 0; i < 1000; ++i) {
+    const Weight w = DrawWeight(road, rng);
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace parapll::graph

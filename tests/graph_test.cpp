@@ -1,0 +1,108 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parapll::graph {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, EdgelessVertices) {
+  const Graph g = Graph::FromEdges(5, {});
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.Neighbors(v).empty());
+  }
+}
+
+TEST(GraphTest, UndirectedArcsBothWays) {
+  const std::vector<Edge> edges = {{0, 1, 7}};
+  const Graph g = Graph::FromEdges(2, edges);
+  ASSERT_EQ(g.Degree(0), 1u);
+  ASSERT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0], (Arc{1, 7}));
+  EXPECT_EQ(g.Neighbors(1)[0], (Arc{0, 7}));
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, SelfLoopsDropped) {
+  const std::vector<Edge> edges = {{0, 0, 3}, {0, 1, 2}};
+  const Graph g = Graph::FromEdges(2, edges);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(GraphTest, ParallelEdgesKeepLightest) {
+  const std::vector<Edge> edges = {{0, 1, 9}, {1, 0, 4}, {0, 1, 6}};
+  const Graph g = Graph::FromEdges(2, edges);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].weight, 4u);
+  EXPECT_EQ(g.Neighbors(1)[0].weight, 4u);
+}
+
+TEST(GraphTest, NeighborsSortedByTarget) {
+  const std::vector<Edge> edges = {{2, 0, 1}, {2, 3, 1}, {2, 1, 1}};
+  const Graph g = Graph::FromEdges(4, edges);
+  const auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].target, 0u);
+  EXPECT_EQ(nbrs[1].target, 1u);
+  EXPECT_EQ(nbrs[2].target, 3u);
+}
+
+TEST(GraphTest, TotalAndMaxWeight) {
+  const std::vector<Edge> edges = {{0, 1, 2}, {1, 2, 5}, {2, 3, 11}};
+  const Graph g = Graph::FromEdges(4, edges);
+  EXPECT_EQ(g.TotalWeight(), 18u);
+  EXPECT_EQ(g.MaxWeight(), 11u);
+}
+
+TEST(GraphTest, ToEdgeListRoundTrips) {
+  const std::vector<Edge> edges = {{0, 3, 2}, {1, 2, 5}, {0, 1, 9}};
+  const Graph g = Graph::FromEdges(4, edges);
+  const Graph g2 = Graph::FromEdges(4, g.ToEdgeList());
+  EXPECT_EQ(g, g2);
+}
+
+TEST(GraphTest, ToEdgeListIsCanonical) {
+  const std::vector<Edge> edges = {{3, 0, 2}, {2, 1, 5}};
+  const Graph g = Graph::FromEdges(4, edges);
+  const auto list = g.ToEdgeList();
+  for (const Edge& e : list) {
+    EXPECT_LT(e.u, e.v);
+  }
+}
+
+TEST(GraphTest, RelabelPermutesIds) {
+  // Path 0-1-2; permutation reverses ids.
+  const std::vector<Edge> edges = {{0, 1, 4}, {1, 2, 6}};
+  const Graph g = Graph::FromEdges(3, edges);
+  const std::vector<VertexId> perm = {2, 1, 0};
+  const Graph r = g.Relabel(perm);
+  EXPECT_EQ(r.NumEdges(), 2u);
+  EXPECT_EQ(r.Degree(1), 2u);  // middle vertex stays middle
+  // Edge {0,1,4} becomes {2,1,4}.
+  bool found = false;
+  for (const Arc& arc : r.Neighbors(2)) {
+    if (arc.target == 1 && arc.weight == 4) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphTest, EqualityIsStructural) {
+  const std::vector<Edge> a = {{0, 1, 2}, {1, 2, 3}};
+  const std::vector<Edge> b = {{1, 2, 3}, {1, 0, 2}};  // same, reordered
+  EXPECT_EQ(Graph::FromEdges(3, a), Graph::FromEdges(3, b));
+  const std::vector<Edge> c = {{0, 1, 2}, {1, 2, 4}};
+  EXPECT_NE(Graph::FromEdges(3, a), Graph::FromEdges(3, c));
+}
+
+}  // namespace
+}  // namespace parapll::graph

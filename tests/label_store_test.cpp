@@ -1,0 +1,110 @@
+#include "pll/label_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace parapll::pll {
+namespace {
+
+TEST(QueryRowsTest, CommonHubMinimum) {
+  const std::vector<LabelEntry> a = {{0, 5}, {2, 1}, {4, 9}};
+  const std::vector<LabelEntry> b = {{1, 2}, {2, 2}, {4, 1}};
+  // hub 2: 1+2 = 3; hub 4: 9+1 = 10.
+  EXPECT_EQ(QueryRows(a, b), 3u);
+}
+
+TEST(QueryRowsTest, NoCommonHubIsInfinite) {
+  const std::vector<LabelEntry> a = {{0, 5}};
+  const std::vector<LabelEntry> b = {{1, 2}};
+  EXPECT_EQ(QueryRows(a, b), graph::kInfiniteDistance);
+}
+
+TEST(QueryRowsTest, EmptyRows) {
+  const std::vector<LabelEntry> a;
+  const std::vector<LabelEntry> b = {{1, 2}};
+  EXPECT_EQ(QueryRows(a, b), graph::kInfiniteDistance);
+  EXPECT_EQ(QueryRows(a, a), graph::kInfiniteDistance);
+}
+
+TEST(MutableLabelsTest, AppendAndIterate) {
+  MutableLabels labels(3);
+  labels.Append(1, 0, 7);
+  labels.Append(1, 1, 0);
+  std::vector<LabelEntry> seen;
+  labels.ForEach(1, [&seen](graph::VertexId hub, graph::Distance dist) {
+    seen.push_back(LabelEntry{hub, dist});
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (LabelEntry{0, 7}));
+  EXPECT_EQ(labels.TotalEntries(), 2u);
+}
+
+TEST(LabelStoreTest, FromRowsSortsAndDedups) {
+  std::vector<std::vector<LabelEntry>> rows(1);
+  rows[0] = {{5, 9}, {1, 3}, {5, 4}, {3, 2}};
+  const LabelStore store = LabelStore::FromRows(std::move(rows));
+  const auto row = store.Row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], (LabelEntry{1, 3}));
+  EXPECT_EQ(row[1], (LabelEntry{3, 2}));
+  EXPECT_EQ(row[2], (LabelEntry{5, 4}));  // min dist kept for hub 5
+}
+
+TEST(LabelStoreTest, QueryAcrossVertices) {
+  std::vector<std::vector<LabelEntry>> rows(2);
+  rows[0] = {{0, 0}, {7, 4}};
+  rows[1] = {{1, 0}, {7, 6}};
+  const LabelStore store = LabelStore::FromRows(std::move(rows));
+  EXPECT_EQ(store.Query(0, 1), 10u);
+  EXPECT_EQ(store.Query(0, 0), 0u);  // self-hub 0 twice: 0+0
+}
+
+TEST(LabelStoreTest, AvgLabelSizeAndMemory) {
+  std::vector<std::vector<LabelEntry>> rows(4);
+  rows[0] = {{0, 0}};
+  rows[1] = {{0, 1}, {1, 0}};
+  rows[2] = {{0, 2}, {1, 3}, {2, 0}};
+  const LabelStore store = LabelStore::FromRows(std::move(rows));
+  EXPECT_EQ(store.TotalEntries(), 6u);
+  EXPECT_DOUBLE_EQ(store.AvgLabelSize(), 1.5);
+  EXPECT_GT(store.MemoryBytes(), 6 * sizeof(LabelEntry));
+}
+
+TEST(LabelStoreTest, SerializeRoundTrip) {
+  std::vector<std::vector<LabelEntry>> rows(3);
+  rows[0] = {{0, 0}};
+  rows[1] = {{0, 5}, {1, 0}};
+  rows[2] = {{2, 0}};
+  const LabelStore store = LabelStore::FromRows(std::move(rows));
+  std::stringstream buffer;
+  store.Serialize(buffer);
+  const LabelStore loaded = LabelStore::Deserialize(buffer);
+  EXPECT_EQ(store, loaded);
+}
+
+TEST(LabelStoreTest, DeserializeRejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "garbage bytes here and more of them";
+  EXPECT_THROW(LabelStore::Deserialize(buffer), std::runtime_error);
+}
+
+TEST(LabelStoreTest, EmptyStore) {
+  const LabelStore store = LabelStore::FromRows({});
+  EXPECT_EQ(store.NumVertices(), 0u);
+  EXPECT_EQ(store.TotalEntries(), 0u);
+  EXPECT_DOUBLE_EQ(store.AvgLabelSize(), 0.0);
+}
+
+TEST(LabelStoreTest, FromMutableMatchesFromRows) {
+  MutableLabels labels(2);
+  labels.Append(0, 0, 0);
+  labels.Append(1, 0, 4);
+  labels.Append(1, 1, 0);
+  const LabelStore store = LabelStore::FromMutable(labels);
+  EXPECT_EQ(store.TotalEntries(), 3u);
+  EXPECT_EQ(store.Query(0, 1), 4u);
+}
+
+}  // namespace
+}  // namespace parapll::pll

@@ -1,0 +1,119 @@
+#include "baseline/landmark_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace parapll::baseline {
+namespace {
+
+using graph::VertexId;
+using graph::WeightModel;
+using graph::WeightOptions;
+
+const WeightOptions kUniform{WeightModel::kUniform, 10};
+
+TEST(LandmarkEstimator, HighestDegreePicksHubs) {
+  const Graph g = graph::Star(10, WeightOptions{WeightModel::kUnit, 1}, 1);
+  const auto estimator = LandmarkEstimator::Build(
+      g, 1, LandmarkSelection::kHighestDegree);
+  ASSERT_EQ(estimator.NumLandmarks(), 1u);
+  EXPECT_EQ(estimator.Landmarks()[0], 0u);  // the star center
+}
+
+TEST(LandmarkEstimator, ExactOnStarThroughCenter) {
+  // Every shortest leaf-leaf path passes the center landmark.
+  const Graph g = graph::Star(10, kUniform, 2);
+  const auto estimator = LandmarkEstimator::Build(
+      g, 1, LandmarkSelection::kHighestDegree);
+  for (VertexId s = 1; s < 10; ++s) {
+    for (VertexId t = 1; t < 10; ++t) {
+      EXPECT_EQ(estimator.Estimate(s, t), DijkstraOne(g, s, t));
+    }
+  }
+}
+
+TEST(LandmarkEstimator, AlwaysUpperBound) {
+  const Graph g = graph::BarabasiAlbert(100, 3, kUniform, 3);
+  const auto estimator = LandmarkEstimator::Build(
+      g, 4, LandmarkSelection::kHighestDegree);
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    EXPECT_GE(estimator.Estimate(s, t), DijkstraOne(g, s, t));
+  }
+}
+
+TEST(LandmarkEstimator, SelfEstimateIsZero) {
+  const Graph g = graph::Cycle(12, kUniform, 4);
+  const auto estimator =
+      LandmarkEstimator::Build(g, 2, LandmarkSelection::kRandom, 4);
+  EXPECT_EQ(estimator.Estimate(5, 5), 0u);
+}
+
+TEST(LandmarkEstimator, DisconnectedIsInfinite) {
+  const std::vector<graph::Edge> edges = {{0, 1, 1}, {2, 3, 1}};
+  const Graph g = Graph::FromEdges(4, edges);
+  const auto estimator = LandmarkEstimator::Build(
+      g, 4, LandmarkSelection::kHighestDegree);
+  EXPECT_EQ(estimator.Estimate(0, 3), graph::kInfiniteDistance);
+  EXPECT_NE(estimator.Estimate(0, 1), graph::kInfiniteDistance);
+}
+
+TEST(LandmarkEstimator, MoreLandmarksNeverWorse) {
+  const Graph g = graph::ErdosRenyi(120, 350, kUniform, 5);
+  const auto few = LandmarkEstimator::Build(
+      g, 2, LandmarkSelection::kHighestDegree);
+  const auto many = LandmarkEstimator::Build(
+      g, 16, LandmarkSelection::kHighestDegree);
+  util::Rng rng(5);
+  for (int i = 0; i < 150; ++i) {
+    const auto s = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    EXPECT_LE(many.Estimate(s, t), few.Estimate(s, t));
+  }
+}
+
+TEST(LandmarkEstimator, KClampedToN) {
+  const Graph g = graph::Path(5, kUniform, 6);
+  const auto estimator = LandmarkEstimator::Build(
+      g, 50, LandmarkSelection::kHighestDegree);
+  EXPECT_EQ(estimator.NumLandmarks(), 5u);
+  // With every vertex a landmark, estimates are exact.
+  for (VertexId s = 0; s < 5; ++s) {
+    for (VertexId t = 0; t < 5; ++t) {
+      EXPECT_EQ(estimator.Estimate(s, t), DijkstraOne(g, s, t));
+    }
+  }
+}
+
+TEST(MeasureAccuracyTest, ReportsSaneNumbers) {
+  const Graph g = graph::BarabasiAlbert(150, 3, kUniform, 7);
+  const auto estimator = LandmarkEstimator::Build(
+      g, 8, LandmarkSelection::kHighestDegree);
+  const auto accuracy = MeasureAccuracy(g, estimator, 100, 7);
+  EXPECT_EQ(accuracy.pairs, 100u);
+  EXPECT_LE(accuracy.exact, accuracy.pairs);
+  EXPECT_GE(accuracy.mean_relative_error, 0.0);
+  EXPECT_GE(accuracy.max_relative_error, accuracy.mean_relative_error);
+}
+
+TEST(MeasureAccuracyTest, DegreeBeatsRandomOnPowerLaw) {
+  // Potamias et al.'s core observation, which ParaPLL inherits through
+  // its degree ordering.
+  const Graph g = graph::BarabasiAlbert(200, 3, kUniform, 8);
+  const auto by_degree = LandmarkEstimator::Build(
+      g, 8, LandmarkSelection::kHighestDegree);
+  const auto random = LandmarkEstimator::Build(
+      g, 8, LandmarkSelection::kRandom, 8);
+  const auto acc_degree = MeasureAccuracy(g, by_degree, 150, 9);
+  const auto acc_random = MeasureAccuracy(g, random, 150, 9);
+  EXPECT_LE(acc_degree.mean_relative_error,
+            acc_random.mean_relative_error * 1.05);
+}
+
+}  // namespace
+}  // namespace parapll::baseline

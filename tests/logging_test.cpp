@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parapll::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, SuppressedLevelsDoNotCrash) {
+  SetLogLevel(LogLevel::kOff);
+  LOG_DEBUG("dropped %d", 1);
+  LOG_INFO("dropped %s", "two");
+  LOG_WARN("dropped");
+  LOG_ERROR("dropped %f", 3.0);
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EmittingLevelsDoNotCrash) {
+  SetLogLevel(LogLevel::kDebug);
+  LOG_DEBUG("visible debug %d", 42);
+  LOG_ERROR("visible error");
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, LongMessagesAreTruncatedSafely) {
+  SetLogLevel(LogLevel::kOff);
+  const std::string huge(8192, 'x');
+  LOG_INFO("%s", huge.c_str());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace parapll::util

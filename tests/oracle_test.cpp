@@ -1,0 +1,47 @@
+#include "baseline/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/generators.hpp"
+
+namespace parapll::baseline {
+namespace {
+
+using graph::WeightModel;
+using graph::WeightOptions;
+
+TEST(DistanceOracle, MatchesDijkstra) {
+  const Graph g = graph::ErdosRenyi(
+      50, 120, WeightOptions{WeightModel::kUniform, 20}, 3);
+  DistanceOracle oracle(g);
+  for (VertexId s = 0; s < g.NumVertices(); s += 5) {
+    const auto truth = DijkstraAll(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); t += 3) {
+      EXPECT_EQ(oracle.Query(s, t), truth[t]);
+    }
+  }
+}
+
+TEST(DistanceOracle, CachesPerSource) {
+  const Graph g = graph::Cycle(20, WeightOptions{WeightModel::kUnit, 1}, 1);
+  DistanceOracle oracle(g);
+  EXPECT_EQ(oracle.CachedSources(), 0u);
+  (void)oracle.Query(3, 7);
+  (void)oracle.Query(3, 9);
+  (void)oracle.Query(3, 0);
+  EXPECT_EQ(oracle.CachedSources(), 1u);
+  (void)oracle.Query(5, 1);
+  EXPECT_EQ(oracle.CachedSources(), 2u);
+}
+
+TEST(DistanceOracle, HandlesDisconnected) {
+  const std::vector<graph::Edge> edges = {{0, 1, 2}};
+  const Graph g = Graph::FromEdges(3, edges);
+  DistanceOracle oracle(g);
+  EXPECT_EQ(oracle.Query(0, 2), graph::kInfiniteDistance);
+  EXPECT_EQ(oracle.Query(2, 2), 0u);
+}
+
+}  // namespace
+}  // namespace parapll::baseline

@@ -1,0 +1,94 @@
+#include "pll/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace parapll::pll {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::WeightModel;
+using graph::WeightOptions;
+
+const WeightOptions kUniform{WeightModel::kUniform, 10};
+
+TEST(Ordering, DegreeOrderPutsHubFirst) {
+  const Graph g = graph::Star(8, kUniform, 1);
+  const auto order = ComputeOrder(g, OrderingPolicy::kDegree, 0);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(Ordering, AllPoliciesReturnPermutations) {
+  const Graph g = graph::BarabasiAlbert(80, 3, kUniform, 5);
+  for (const auto policy :
+       {OrderingPolicy::kDegree, OrderingPolicy::kRandom,
+        OrderingPolicy::kApproxBetweenness}) {
+    const auto order = ComputeOrder(g, policy, 7);
+    std::vector<bool> seen(g.NumVertices(), false);
+    ASSERT_EQ(order.size(), g.NumVertices()) << ToString(policy);
+    for (const VertexId v : order) {
+      ASSERT_LT(v, g.NumVertices());
+      EXPECT_FALSE(seen[v]) << ToString(policy);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(Ordering, RandomPolicyDependsOnSeed) {
+  const Graph g = graph::ErdosRenyi(50, 100, kUniform, 1);
+  const auto a = ComputeOrder(g, OrderingPolicy::kRandom, 1);
+  const auto b = ComputeOrder(g, OrderingPolicy::kRandom, 1);
+  const auto c = ComputeOrder(g, OrderingPolicy::kRandom, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Ordering, ApproxBetweennessFavorsBridgeVertices) {
+  // Two stars joined by a bridge through vertices 0 and 1: the bridge
+  // endpoints carry all cross traffic and should rank near the top.
+  std::vector<graph::Edge> edges;
+  for (VertexId v = 2; v < 12; ++v) {
+    edges.push_back({0, v, 1});
+  }
+  for (VertexId v = 12; v < 22; ++v) {
+    edges.push_back({1, v, 1});
+  }
+  edges.push_back({0, 1, 1});
+  const Graph g = Graph::FromEdges(22, edges);
+  const auto order = ComputeOrder(g, OrderingPolicy::kApproxBetweenness, 3);
+  // The two centers must occupy the first two positions.
+  EXPECT_TRUE((order[0] == 0 && order[1] == 1) ||
+              (order[0] == 1 && order[1] == 0));
+}
+
+TEST(Ordering, InvertOrderIsInverse) {
+  const Graph g = graph::ErdosRenyi(40, 80, kUniform, 9);
+  const auto order = ComputeOrder(g, OrderingPolicy::kRandom, 9);
+  const auto rank_of = InvertOrder(order);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    EXPECT_EQ(rank_of[order[rank]], rank);
+  }
+}
+
+TEST(Ordering, ToRankSpacePreservesStructure) {
+  const Graph g = graph::BarabasiAlbert(40, 2, kUniform, 10);
+  const auto order = ComputeOrder(g, OrderingPolicy::kDegree, 0);
+  const Graph ranked = ToRankSpace(g, order);
+  EXPECT_EQ(ranked.NumVertices(), g.NumVertices());
+  EXPECT_EQ(ranked.NumEdges(), g.NumEdges());
+  EXPECT_EQ(ranked.TotalWeight(), g.TotalWeight());
+  // Rank 0 must be the max-degree vertex.
+  EXPECT_EQ(ranked.Degree(0), g.Degree(order[0]));
+}
+
+TEST(Ordering, ToStringNames) {
+  EXPECT_EQ(ToString(OrderingPolicy::kDegree), "degree");
+  EXPECT_EQ(ToString(OrderingPolicy::kRandom), "random");
+  EXPECT_EQ(ToString(OrderingPolicy::kApproxBetweenness),
+            "approx-betweenness");
+}
+
+}  // namespace
+}  // namespace parapll::pll

@@ -1,0 +1,130 @@
+#include "pll/path_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace parapll::pll {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::WeightModel;
+using graph::WeightOptions;
+
+const WeightOptions kUniform{WeightModel::kUniform, 10};
+
+// Sum of edge weights along `path`; infinite if an edge is missing.
+graph::Distance PathWeight(const Graph& g,
+                           const std::vector<VertexId>& path) {
+  graph::Distance total = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    bool found = false;
+    for (const graph::Arc& arc : g.Neighbors(path[i - 1])) {
+      if (arc.target == path[i]) {
+        total += arc.weight;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return graph::kInfiniteDistance;
+    }
+  }
+  return total;
+}
+
+TEST(PathIndex, PathOnPathGraph) {
+  const Graph g = graph::Path(6, WeightOptions{WeightModel::kUnit, 1}, 1);
+  const PathIndex index = PathIndex::Build(g);
+  const auto path = index.ReconstructPath(0, 5);
+  EXPECT_EQ(path, (std::vector<VertexId>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(PathIndex, SelfPathIsSingleton) {
+  const Graph g = graph::Cycle(8, kUniform, 2);
+  const PathIndex index = PathIndex::Build(g);
+  EXPECT_EQ(index.ReconstructPath(3, 3), std::vector<VertexId>{3});
+}
+
+TEST(PathIndex, DisconnectedReturnsEmpty) {
+  const std::vector<graph::Edge> edges = {{0, 1, 2}, {2, 3, 4}};
+  const Graph g = Graph::FromEdges(4, edges);
+  const PathIndex index = PathIndex::Build(g);
+  EXPECT_TRUE(index.ReconstructPath(0, 3).empty());
+  EXPECT_EQ(index.Query(0, 3), graph::kInfiniteDistance);
+}
+
+TEST(PathIndex, WeightedDetourIsFollowed) {
+  const std::vector<graph::Edge> edges = {{0, 1, 10}, {0, 2, 1}, {2, 1, 2}};
+  const Graph g = Graph::FromEdges(3, edges);
+  const PathIndex index = PathIndex::Build(g);
+  const auto path = index.ReconstructPath(0, 1);
+  EXPECT_EQ(path, (std::vector<VertexId>{0, 2, 1}));
+  EXPECT_EQ(PathWeight(g, path), 3u);
+}
+
+class PathIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathIndexProperty, EveryPathIsValidAndShortest) {
+  util::Rng rng(GetParam());
+  const Graph g = [&]() -> Graph {
+    switch (GetParam() % 3) {
+      case 0:
+        return graph::BarabasiAlbert(80, 3, kUniform, GetParam());
+      case 1:
+        return graph::RoadGrid(8, 8, 0.8, 3, kUniform, GetParam());
+      default:
+        return graph::ErdosRenyi(70, 160, kUniform, GetParam());
+    }
+  }();
+  const PathIndex index = PathIndex::Build(g);
+  for (int i = 0; i < 80; ++i) {
+    const auto s = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    const graph::Distance truth = baseline::DijkstraOne(g, s, t);
+    ASSERT_EQ(index.Query(s, t), truth);
+    const auto path = index.ReconstructPath(s, t);
+    if (truth == graph::kInfiniteDistance) {
+      EXPECT_TRUE(path.empty());
+      continue;
+    }
+    // Path starts at s, ends at t, uses real edges, and is shortest.
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    EXPECT_EQ(PathWeight(g, path), truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathIndexProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(PathIndex, VerticesOnPathAreDistinct) {
+  const Graph g = graph::WattsStrogatz(60, 3, 0.2, kUniform, 4);
+  const PathIndex index = PathIndex::Build(g);
+  util::Rng rng(4);
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.NumVertices()));
+    const auto path = index.ReconstructPath(s, t);
+    std::vector<bool> seen(g.NumVertices(), false);
+    for (const VertexId v : path) {
+      EXPECT_FALSE(seen[v]) << "vertex repeated on path";
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(PathIndex, LabelSizeMatchesPlainIndexOrder) {
+  // The parent annotation must not change what gets labeled.
+  const Graph g = graph::BarabasiAlbert(120, 3, kUniform, 6);
+  const PathIndex with_parents = PathIndex::Build(g);
+  EXPECT_GT(with_parents.AvgLabelSize(), 0.0);
+}
+
+}  // namespace
+}  // namespace parapll::pll

@@ -1,0 +1,124 @@
+#include "pll/pruned_dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "pll/label_store.hpp"
+
+namespace parapll::pll {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::WeightModel;
+using graph::WeightOptions;
+
+const WeightOptions kUniform{WeightModel::kUniform, 10};
+
+TEST(PrunedDijkstra, FirstRootIsFullDijkstra) {
+  // With no existing labels, nothing can be pruned: every reachable vertex
+  // gets a label with its exact Dijkstra distance.
+  const Graph g = graph::BarabasiAlbert(60, 2, kUniform, 1);
+  MutableLabels labels(g.NumVertices());
+  PruneScratch scratch(g.NumVertices());
+  const PruneStats stats = PrunedDijkstra(g, 0, labels, scratch);
+  EXPECT_EQ(stats.pruned, 0u);
+  EXPECT_EQ(stats.labels_added, g.NumVertices());
+
+  const auto truth = baseline::DijkstraAll(g, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(labels.Row(v).size(), 1u);
+    EXPECT_EQ(labels.Row(v)[0].hub, 0u);
+    EXPECT_EQ(labels.Row(v)[0].dist, truth[v]);
+  }
+}
+
+TEST(PrunedDijkstra, SecondRootPrunesCoveredVertices) {
+  // Path 0-1-2 (unit weights), ranks equal ids. After root 0, root 1's
+  // search is covered at vertex 0 and 2? No: d(1,0)=1, QUERY via hub 0 =
+  // d(0,1)+d(0,0) = 1 <= 1 -> pruned; d(1,2)=1 vs hub 0: 1+2=3 > 1 -> kept.
+  const Graph g = graph::Path(3, WeightOptions{WeightModel::kUnit, 1}, 1);
+  MutableLabels labels(3);
+  PruneScratch scratch(3);
+  (void)PrunedDijkstra(g, 0, labels, scratch);
+  const PruneStats stats = PrunedDijkstra(g, 1, labels, scratch);
+  EXPECT_EQ(stats.pruned, 1u);         // vertex 0
+  EXPECT_EQ(stats.labels_added, 2u);   // vertices 1 and 2
+  EXPECT_EQ(labels.Row(0).size(), 1u);
+  EXPECT_EQ(labels.Row(1).size(), 2u);
+}
+
+TEST(PrunedDijkstra, LaterRootsPruneMore) {
+  const Graph g = graph::BarabasiAlbert(200, 3, kUniform, 2);
+  MutableLabels labels(g.NumVertices());
+  PruneScratch scratch(g.NumVertices());
+  std::size_t early_added = 0;
+  std::size_t late_added = 0;
+  for (VertexId root = 0; root < g.NumVertices(); ++root) {
+    const PruneStats stats = PrunedDijkstra(g, root, labels, scratch);
+    if (root < 10) {
+      early_added += stats.labels_added;
+    }
+    if (root >= g.NumVertices() - 10) {
+      late_added += stats.labels_added;
+    }
+  }
+  EXPECT_GT(early_added, late_added * 3);
+}
+
+TEST(PrunedDijkstra, ScratchIsReusableAcrossRoots) {
+  // Running with one shared scratch must equal running with fresh ones.
+  const Graph g = graph::ErdosRenyi(50, 120, kUniform, 3);
+  MutableLabels shared_labels(g.NumVertices());
+  PruneScratch shared_scratch(g.NumVertices());
+  MutableLabels fresh_labels(g.NumVertices());
+  for (VertexId root = 0; root < g.NumVertices(); ++root) {
+    (void)PrunedDijkstra(g, root, shared_labels, shared_scratch);
+    PruneScratch fresh_scratch(g.NumVertices());
+    (void)PrunedDijkstra(g, root, fresh_labels, fresh_scratch);
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(shared_labels.Row(v), fresh_labels.Row(v));
+  }
+}
+
+TEST(PrunedDijkstra, StatsAreInternallyConsistent) {
+  const Graph g = graph::BarabasiAlbert(100, 3, kUniform, 4);
+  MutableLabels labels(g.NumVertices());
+  PruneScratch scratch(g.NumVertices());
+  for (VertexId root = 0; root < g.NumVertices(); ++root) {
+    const PruneStats stats = PrunedDijkstra(g, root, labels, scratch);
+    EXPECT_EQ(stats.settled, stats.pruned + stats.labels_added);
+    EXPECT_GE(stats.heap_pushes, 1u);
+    EXPECT_LE(stats.labels_added, stats.settled);
+  }
+}
+
+TEST(PrunedDijkstra, TotalLabelsFarBelowNSquared) {
+  // The whole point of pruning: the 2-hop cover stays near-linear, far
+  // below the n^2 entries of an all-pairs table.
+  const Graph g = graph::BarabasiAlbert(400, 3, kUniform, 5);
+  MutableLabels labels(g.NumVertices());
+  PruneScratch scratch(g.NumVertices());
+  for (VertexId root = 0; root < g.NumVertices(); ++root) {
+    (void)PrunedDijkstra(g, root, labels, scratch);
+  }
+  const std::size_t total = labels.TotalEntries();
+  const std::size_t all_pairs =
+      static_cast<std::size_t>(g.NumVertices()) * g.NumVertices();
+  EXPECT_LT(total * 8, all_pairs);
+}
+
+TEST(PrunedDijkstra, IsolatedRootLabelsOnlyItself) {
+  const Graph g = Graph::FromEdges(3, std::vector<graph::Edge>{{0, 1, 2}});
+  MutableLabels labels(3);
+  PruneScratch scratch(3);
+  const PruneStats stats = PrunedDijkstra(g, 2, labels, scratch);
+  EXPECT_EQ(stats.labels_added, 1u);
+  EXPECT_EQ(labels.Row(2).size(), 1u);
+  EXPECT_EQ(labels.Row(2)[0], (LabelEntry{2, 0}));
+}
+
+}  // namespace
+}  // namespace parapll::pll

@@ -1,0 +1,117 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace parapll::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values should appear
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double r = rng.Real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);  // roughly uniform mean
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent(21);
+  Rng fork_a = parent.Fork(1);
+  Rng fork_b = parent.Fork(2);
+  Rng fork_a2 = parent.Fork(1);
+  EXPECT_EQ(fork_a.Next(), fork_a2.Next());
+  EXPECT_NE(fork_a.Next(), fork_b.Next());
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> original = items;
+  rng.Shuffle(items);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(25);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(SplitMix, DeterministicSequence) {
+  SplitMix64 a(5);
+  SplitMix64 b(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace parapll::util

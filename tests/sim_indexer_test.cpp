@@ -1,0 +1,153 @@
+#include "vtime/sim_indexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pll/serial_pll.hpp"
+#include "pll/verify.hpp"
+
+namespace parapll {
+namespace {
+
+using graph::Graph;
+using graph::WeightModel;
+using graph::WeightOptions;
+using parallel::AssignmentPolicy;
+using vtime::SimBuildOptions;
+
+WeightOptions Uniform() { return WeightOptions{WeightModel::kUniform, 10}; }
+
+struct Config {
+  std::size_t workers;
+  AssignmentPolicy policy;
+};
+
+class SimIndexerExactness : public ::testing::TestWithParam<Config> {};
+
+TEST_P(SimIndexerExactness, MatchesDijkstra) {
+  const Config config = GetParam();
+  const std::vector<Graph> graphs = {
+      graph::BarabasiAlbert(120, 3, Uniform(), 51),
+      graph::RoadGrid(8, 8, 0.8, 3, Uniform(), 52),
+      graph::ErdosRenyi(90, 200, Uniform(), 53),
+  };
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    SimBuildOptions options;
+    options.workers = config.workers;
+    options.policy = config.policy;
+    const auto result = BuildSimulated(graphs[i], options);
+    const auto verdict = pll::VerifyExhaustive(graphs[i], result.MakeIndex());
+    EXPECT_TRUE(verdict.Ok()) << "graph " << i << ": " << verdict.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkerPolicySweep, SimIndexerExactness,
+    ::testing::Values(Config{1, AssignmentPolicy::kStatic},
+                      Config{1, AssignmentPolicy::kDynamic},
+                      Config{2, AssignmentPolicy::kStatic},
+                      Config{4, AssignmentPolicy::kStatic},
+                      Config{4, AssignmentPolicy::kDynamic},
+                      Config{12, AssignmentPolicy::kStatic},
+                      Config{12, AssignmentPolicy::kDynamic}));
+
+TEST(SimIndexer, DeterministicAcrossRuns) {
+  const Graph g = graph::BarabasiAlbert(150, 3, Uniform(), 61);
+  SimBuildOptions options;
+  options.workers = 6;
+  options.policy = AssignmentPolicy::kDynamic;
+  const auto a = BuildSimulated(g, options);
+  const auto b = BuildSimulated(g, options);
+  EXPECT_EQ(a.store, b.store);
+  EXPECT_DOUBLE_EQ(a.makespan_units, b.makespan_units);
+  EXPECT_EQ(a.worker_units, b.worker_units);
+}
+
+TEST(SimIndexer, OneWorkerReproducesSerialLabels) {
+  const Graph g = graph::ErdosRenyi(100, 250, Uniform(), 62);
+  SimBuildOptions options;
+  options.workers = 1;
+  const auto sim = BuildSimulated(g, options);
+  const auto serial = pll::BuildSerial(g, {});
+  EXPECT_EQ(sim.store, serial.store);
+  EXPECT_DOUBLE_EQ(sim.makespan_units, sim.total_units);
+}
+
+TEST(SimIndexer, MakespanShrinksWithMoreWorkers) {
+  const Graph g = graph::BarabasiAlbert(300, 4, Uniform(), 63);
+  double previous = 0.0;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SimBuildOptions options;
+    options.workers = workers;
+    options.policy = AssignmentPolicy::kDynamic;
+    const auto result = BuildSimulated(g, options);
+    if (workers > 1) {
+      EXPECT_LT(result.makespan_units, previous)
+          << "no speedup from " << workers / 2 << " to " << workers;
+    }
+    previous = result.makespan_units;
+  }
+}
+
+TEST(SimIndexer, SpeedupIsAtMostWorkerCount) {
+  const Graph g = graph::BarabasiAlbert(200, 3, Uniform(), 64);
+  SimBuildOptions serial_options;
+  serial_options.workers = 1;
+  const double serial_units = BuildSimulated(g, serial_options).makespan_units;
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    SimBuildOptions options;
+    options.workers = workers;
+    options.policy = AssignmentPolicy::kDynamic;
+    const auto result = BuildSimulated(g, options);
+    const double speedup = serial_units / result.makespan_units;
+    EXPECT_GT(speedup, 1.0);
+    // Relaxed visibility adds work, so speedup must stay below p with a
+    // small tolerance for the task_overhead term.
+    EXPECT_LT(speedup, static_cast<double>(workers) * 1.05);
+  }
+}
+
+TEST(SimIndexer, LabelInflationGrowsWithWorkers) {
+  // Tables 3–4: LN grows (mildly) with thread count.
+  const Graph g = graph::BarabasiAlbert(300, 4, Uniform(), 65);
+  SimBuildOptions one;
+  one.workers = 1;
+  const std::size_t base = BuildSimulated(g, one).store.TotalEntries();
+  SimBuildOptions many;
+  many.workers = 12;
+  many.policy = AssignmentPolicy::kStatic;
+  const std::size_t inflated = BuildSimulated(g, many).store.TotalEntries();
+  EXPECT_GE(inflated, base);
+}
+
+TEST(SimIndexer, DynamicBalancesWorkerClocks) {
+  const Graph g = graph::BarabasiAlbert(300, 4, Uniform(), 66);
+  SimBuildOptions options;
+  options.workers = 4;
+  options.policy = AssignmentPolicy::kDynamic;
+  const auto result = BuildSimulated(g, options);
+  const double max_clock = *std::max_element(result.worker_units.begin(),
+                                             result.worker_units.end());
+  const double min_clock = *std::min_element(result.worker_units.begin(),
+                                             result.worker_units.end());
+  // Dynamic assignment keeps the slowest and fastest worker within the
+  // cost of roughly one task of each other on a 300-root workload.
+  EXPECT_LT((max_clock - min_clock) / max_clock, 0.25);
+}
+
+TEST(SimIndexer, TraceCoversEveryRootOnce) {
+  const Graph g = graph::ErdosRenyi(70, 150, Uniform(), 67);
+  SimBuildOptions options;
+  options.workers = 3;
+  options.record_trace = true;
+  const auto result = BuildSimulated(g, options);
+  ASSERT_EQ(result.trace.size(), g.NumVertices());
+  std::vector<bool> seen(g.NumVertices(), false);
+  for (const auto& [root, labels_added] : result.trace) {
+    EXPECT_FALSE(seen[root]);
+    seen[root] = true;
+  }
+}
+
+}  // namespace
+}  // namespace parapll

@@ -1,0 +1,102 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parapll::util {
+namespace {
+
+TEST(Summarize, EmptySampleIsAllZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const Summary s = Summarize({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.p50, 3.5);
+}
+
+TEST(Summarize, KnownDistribution) {
+  const Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(SortedQuantile, InterpolatesBetweenPoints) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 1.0), 10.0);
+}
+
+TEST(IntHistogramTest, CountsAndOrder) {
+  IntHistogram hist;
+  hist.Add(5);
+  hist.Add(1);
+  hist.Add(5);
+  hist.Add(3);
+  const auto items = hist.Items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], std::make_pair(std::uint64_t{1}, std::uint64_t{1}));
+  EXPECT_EQ(items[1], std::make_pair(std::uint64_t{3}, std::uint64_t{1}));
+  EXPECT_EQ(items[2], std::make_pair(std::uint64_t{5}, std::uint64_t{2}));
+  EXPECT_EQ(hist.Total(), 4u);
+}
+
+TEST(IntHistogramTest, ToStringFormat) {
+  IntHistogram hist;
+  hist.Add(2);
+  hist.Add(2);
+  EXPECT_EQ(hist.ToString(), "2 2\n");
+}
+
+TEST(CumulativeSeriesTest, FractionsAreMonotone) {
+  CumulativeSeries series;
+  series.Append(10);
+  series.Append(0);
+  series.Append(30);
+  series.Append(60);
+  EXPECT_EQ(series.Total(), 100u);
+  EXPECT_DOUBLE_EQ(series.FractionAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(series.FractionAt(1), 0.10);
+  EXPECT_DOUBLE_EQ(series.FractionAt(2), 0.10);
+  EXPECT_DOUBLE_EQ(series.FractionAt(3), 0.40);
+  EXPECT_DOUBLE_EQ(series.FractionAt(4), 1.0);
+  EXPECT_DOUBLE_EQ(series.FractionAt(99), 1.0);  // clamped
+}
+
+TEST(CumulativeSeriesTest, EmptySeries) {
+  const CumulativeSeries series;
+  EXPECT_EQ(series.Steps(), 0u);
+  EXPECT_EQ(series.Total(), 0u);
+  EXPECT_DOUBLE_EQ(series.FractionAt(5), 1.0);
+  EXPECT_TRUE(series.SampleGeometric(8).empty());
+}
+
+TEST(CumulativeSeriesTest, GeometricSampleEndsAtLastStep) {
+  CumulativeSeries series;
+  for (int i = 0; i < 1000; ++i) {
+    series.Append(1);
+  }
+  const auto points = series.SampleGeometric(10);
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points.front().first, 1u);
+  EXPECT_EQ(points.back().first, 1000u);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+  // Steps strictly increase.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].first, points[i - 1].first);
+  }
+}
+
+}  // namespace
+}  // namespace parapll::util

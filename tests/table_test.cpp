@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parapll::util {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.Row().Cell("alpha").Cell(1);
+  table.Row().Cell("beta").Cell(22);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // header, rule, two rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table table({"a", "b"});
+  table.Row().Cell("long-cell-content").Cell("x");
+  table.Row().Cell("s").Cell("y");
+  const std::string out = table.Render();
+  // Both data rows must place column b at the same offset.
+  const auto lines_start = out.find('\n', out.find('\n') + 1) + 1;
+  const std::string row1 = out.substr(lines_start, out.find('\n', lines_start) - lines_start);
+  const auto row2_start = out.find('\n', lines_start) + 1;
+  const std::string row2 = out.substr(row2_start, out.find('\n', row2_start) - row2_start);
+  EXPECT_EQ(row1.find('x'), row2.find('y'));
+}
+
+TEST(TableTest, DoubleFormatting) {
+  Table table({"v"});
+  table.Row().Cell(3.14159, 2);
+  table.Row().Cell(2.0, 0);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(out.find("3.142"), std::string::npos);
+  EXPECT_NE(out.find("\n2"), std::string::npos);
+}
+
+TEST(TableTest, MissingTrailingCellsRenderEmpty) {
+  Table table({"a", "b", "c"});
+  table.Row().Cell("only-one");
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TableTest, IntegerOverloads) {
+  Table table({"i64", "u64", "int"});
+  table.Row()
+      .Cell(static_cast<std::int64_t>(-5))
+      .Cell(static_cast<std::uint64_t>(7))
+      .Cell(9);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("-5"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parapll::util

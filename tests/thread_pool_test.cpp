@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace parapll::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter](std::size_t) { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreInRange) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<std::size_t> workers;
+  for (int i = 0; i < 60; ++i) {
+    pool.Submit([&](std::size_t worker) {
+      std::lock_guard<std::mutex> lock(mutex);
+      workers.insert(worker);
+    });
+  }
+  pool.Wait();
+  for (std::size_t w : workers) {
+    EXPECT_LT(w, 3u);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MultipleWaitRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter](std::size_t) { ++counter; });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter](std::size_t) { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  ParallelFor(4, 500, [&hits](std::size_t, std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ParallelFor(4, 0, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> counter{0};
+  ParallelFor(16, 3, [&counter](std::size_t, std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace parapll::util

@@ -1,0 +1,62 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace parapll::util {
+namespace {
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.Seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+  EXPECT_NEAR(timer.Millis(), timer.Seconds() * 1e3, timer.Millis() * 0.5);
+}
+
+TEST(WallTimerTest, ResetRestartsClock) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 0.015);
+}
+
+TEST(AccumulatingTimerTest, SumsIntervals) {
+  AccumulatingTimer acc;
+  acc.Add(0.5);
+  acc.Add(0.25);
+  EXPECT_DOUBLE_EQ(acc.Seconds(), 0.75);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.Seconds(), 0.0);
+}
+
+TEST(AccumulatingTimerTest, StartStopAccumulates) {
+  AccumulatingTimer acc;
+  acc.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  acc.Stop();
+  acc.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  acc.Stop();
+  EXPECT_GE(acc.Seconds(), 0.015);
+}
+
+TEST(ScopedAccumulateTest, AddsOnDestruction) {
+  AccumulatingTimer acc;
+  {
+    ScopedAccumulate guard(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(acc.Seconds(), 0.008);
+}
+
+TEST(FormatDurationTest, PicksSensibleUnits) {
+  EXPECT_EQ(FormatDuration(2.5), "2.50s");
+  EXPECT_EQ(FormatDuration(0.0425), "42.50ms");
+  EXPECT_EQ(FormatDuration(0.000123), "123.0us");
+}
+
+}  // namespace
+}  // namespace parapll::util

@@ -1,0 +1,64 @@
+#include "cluster/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parapll::cluster {
+namespace {
+
+TEST(Wire, RoundTripEmpty) {
+  const Payload payload = EncodeUpdates(12.5, {});
+  const auto decoded = DecodeUpdates(payload);
+  EXPECT_DOUBLE_EQ(decoded.node_clock, 12.5);
+  EXPECT_TRUE(decoded.updates.empty());
+}
+
+TEST(Wire, RoundTripEntries) {
+  const std::vector<LabelUpdate> updates = {
+      {0, 0, 0},
+      {17, 3, 12345},
+      {graph::kInvalidVertex - 1, 42, graph::kInfiniteDistance - 1},
+  };
+  const auto decoded = DecodeUpdates(EncodeUpdates(-1.0, updates));
+  EXPECT_DOUBLE_EQ(decoded.node_clock, -1.0);
+  ASSERT_EQ(decoded.updates.size(), updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(decoded.updates[i], updates[i]);
+  }
+}
+
+TEST(Wire, PayloadSizeIsCompact) {
+  const std::vector<LabelUpdate> updates(100);
+  const Payload payload = EncodeUpdates(0.0, updates);
+  // header (clock + count) + 100 * (vertex + hub + dist)
+  EXPECT_EQ(payload.size(),
+            sizeof(double) + sizeof(std::uint64_t) +
+                100 * (2 * sizeof(graph::VertexId) +
+                       sizeof(graph::Distance)));
+}
+
+TEST(WireDeathTest, TruncatedPayloadIsRejected) {
+  const std::vector<LabelUpdate> updates = {{1, 2, 3}, {4, 5, 6}};
+  Payload payload = EncodeUpdates(1.0, updates);
+  payload.resize(payload.size() - 4);  // cut mid-entry
+  EXPECT_DEATH((void)DecodeUpdates(payload), "CHECK failed");
+}
+
+TEST(WireDeathTest, TrailingGarbageIsRejected) {
+  Payload payload = EncodeUpdates(1.0, {});
+  payload.push_back(0xFF);
+  EXPECT_DEATH((void)DecodeUpdates(payload), "CHECK failed");
+}
+
+TEST(Wire, LargeBatchRoundTrip) {
+  std::vector<LabelUpdate> updates;
+  updates.reserve(10000);
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    updates.push_back(LabelUpdate{i, i / 2, i * 3ULL});
+  }
+  const auto decoded = DecodeUpdates(EncodeUpdates(99.0, updates));
+  ASSERT_EQ(decoded.updates.size(), updates.size());
+  EXPECT_EQ(decoded.updates[9999], updates[9999]);
+}
+
+}  // namespace
+}  // namespace parapll::cluster

@@ -1,0 +1,211 @@
+// parapll_cli — command-line front end for the library.
+//
+//   parapll_cli generate --dataset Epinions --scale 0.05 --out g.txt
+//   parapll_cli build    --graph g.txt --mode parallel --threads 8 \
+//                        --out g.index [--compact]
+//   parapll_cli query    --index g.index -s 3 -t 99
+//   parapll_cli query    --index g.index            # pairs from stdin
+//   parapll_cli stats    --index g.index
+//   parapll_cli verify   --index g.index --graph g.txt --pairs 500
+//
+// Exit code 0 on success; 1 on usage errors or failed verification.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/parapll.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace parapll;
+
+int Usage() {
+  std::fputs(
+      "usage: parapll_cli <generate|build|query|stats|verify> [flags]\n"
+      "  generate --dataset NAME --scale S --seed K --out FILE\n"
+      "  build    --graph FILE --mode serial|parallel|simulated|cluster\n"
+      "           --threads P --nodes Q --sync C --policy static|dynamic\n"
+      "           --out FILE [--compact]\n"
+      "  query    --index FILE [--compact] [-s S -t T]  (else stdin pairs)\n"
+      "  stats    --index FILE [--compact]\n"
+      "  verify   --index FILE [--compact] --graph FILE --pairs N\n",
+      stderr);
+  return 1;
+}
+
+pll::Index LoadIndex(const std::string& path, bool compact) {
+  if (!compact) {
+    return pll::Index::LoadFile(path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return pll::ReadCompactIndex(in);
+}
+
+int CmdGenerate(util::ArgParser& args) {
+  const std::string name = args.GetString("dataset");
+  const graph::Graph g = graph::MakeDatasetByName(
+      name, args.GetDouble("scale"),
+      static_cast<std::uint64_t>(args.GetInt("seed")));
+  graph::WriteEdgeListTextFile(g, args.GetString("out"));
+  std::printf("wrote %s: n=%u m=%zu (%s)\n", args.GetString("out").c_str(),
+              g.NumVertices(), g.NumEdges(), name.c_str());
+  return 0;
+}
+
+int CmdBuild(util::ArgParser& args) {
+  const graph::Graph g = graph::ReadEdgeListTextFile(args.GetString("graph"));
+  const std::string mode_name = args.GetString("mode");
+  IndexBuilder builder;
+  if (mode_name == "serial") {
+    builder.Mode(BuildMode::kSerial);
+  } else if (mode_name == "parallel") {
+    builder.Mode(BuildMode::kParallel);
+  } else if (mode_name == "simulated") {
+    builder.Mode(BuildMode::kSimulated);
+  } else if (mode_name == "cluster") {
+    builder.Mode(BuildMode::kCluster);
+  } else {
+    std::fprintf(stderr, "unknown mode %s\n", mode_name.c_str());
+    return 1;
+  }
+  builder.Threads(static_cast<std::size_t>(args.GetInt("threads")))
+      .Nodes(static_cast<std::size_t>(args.GetInt("nodes")))
+      .SyncCount(static_cast<std::size_t>(args.GetInt("sync")))
+      .Policy(args.GetString("policy") == "static"
+                  ? parallel::AssignmentPolicy::kStatic
+                  : parallel::AssignmentPolicy::kDynamic)
+      .Seed(static_cast<std::uint64_t>(args.GetInt("seed")));
+
+  BuildReport report;
+  const pll::Index index = builder.Build(g, &report);
+  const std::string out = args.GetString("out");
+  if (args.GetBool("compact")) {
+    std::ofstream stream(out, std::ios::binary);
+    if (!stream) {
+      throw std::runtime_error("cannot open " + out);
+    }
+    pll::WriteCompactIndex(index, stream);
+  } else {
+    index.SaveFile(out);
+  }
+  std::printf("indexed n=%u in %s: LN=%.1f, %zu entries -> %s\n",
+              g.NumVertices(),
+              util::FormatDuration(report.indexing_seconds).c_str(),
+              report.avg_label_size, report.total_label_entries,
+              out.c_str());
+  return 0;
+}
+
+int CmdQuery(util::ArgParser& args) {
+  const pll::Index index =
+      LoadIndex(args.GetString("index"), args.GetBool("compact"));
+  auto answer = [&index](graph::VertexId s, graph::VertexId t) {
+    if (s >= index.NumVertices() || t >= index.NumVertices()) {
+      std::printf("d(%u, %u) = out-of-range\n", s, t);
+      return;
+    }
+    const graph::Distance d = index.Query(s, t);
+    if (d == graph::kInfiniteDistance) {
+      std::printf("d(%u, %u) = unreachable\n", s, t);
+    } else {
+      std::printf("d(%u, %u) = %llu\n", s, t,
+                  static_cast<unsigned long long>(d));
+    }
+  };
+  if (args.GetInt("s") >= 0 && args.GetInt("t") >= 0) {
+    answer(static_cast<graph::VertexId>(args.GetInt("s")),
+           static_cast<graph::VertexId>(args.GetInt("t")));
+    return 0;
+  }
+  std::uint64_t s = 0;
+  std::uint64_t t = 0;
+  while (std::cin >> s >> t) {
+    answer(static_cast<graph::VertexId>(s), static_cast<graph::VertexId>(t));
+  }
+  return 0;
+}
+
+int CmdStats(util::ArgParser& args) {
+  const pll::Index index =
+      LoadIndex(args.GetString("index"), args.GetBool("compact"));
+  std::printf("vertices:        %u\n", index.NumVertices());
+  std::printf("label entries:   %zu\n", index.TotalEntries());
+  std::printf("avg label size:  %.2f\n", index.AvgLabelSize());
+  std::printf("memory:          %.2f MB\n",
+              static_cast<double>(index.MemoryBytes()) / (1024.0 * 1024.0));
+  std::printf("compact size:    %.2f MB\n",
+              static_cast<double>(pll::CompactSizeBytes(index.Store())) /
+                  (1024.0 * 1024.0));
+  return 0;
+}
+
+int CmdVerify(util::ArgParser& args) {
+  const pll::Index index =
+      LoadIndex(args.GetString("index"), args.GetBool("compact"));
+  const graph::Graph g = graph::ReadEdgeListTextFile(args.GetString("graph"));
+  if (g.NumVertices() != index.NumVertices()) {
+    std::fprintf(stderr, "graph (n=%u) does not match index (n=%u)\n",
+                 g.NumVertices(), index.NumVertices());
+    return 1;
+  }
+  const auto verdict = pll::VerifySampled(
+      g, index, static_cast<std::size_t>(args.GetInt("pairs")),
+      static_cast<std::uint64_t>(args.GetInt("seed")));
+  std::printf("%s\n", verdict.ToString().c_str());
+  return verdict.Ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  util::ArgParser args("parapll_cli " + command, "ParaPLL command line");
+  args.Flag("dataset", "Epinions", "catalog dataset name (generate)")
+      .Flag("scale", "0.05", "dataset scale (generate)")
+      .Flag("seed", "1", "seed (generate/build/verify)")
+      .Flag("graph", "", "edge list path (build/verify)")
+      .Flag("index", "", "index path (query/stats/verify)")
+      .Flag("out", "", "output path (generate/build)")
+      .Flag("mode", "parallel", "build mode (build)")
+      .Flag("threads", "4", "threads / workers (build)")
+      .Flag("nodes", "1", "cluster nodes (build)")
+      .Flag("sync", "16", "cluster sync count (build)")
+      .Flag("policy", "dynamic", "assignment policy (build)")
+      .Flag("compact", "false", "use varint index format")
+      .Flag("pairs", "500", "verification pair count (verify)")
+      .Flag("s", "-1", "query source vertex")
+      .Flag("t", "-1", "query target vertex");
+  if (!args.Parse(argc - 1, argv + 1)) {
+    return 1;
+  }
+  try {
+    if (command == "generate") {
+      return CmdGenerate(args);
+    }
+    if (command == "build") {
+      return CmdBuild(args);
+    }
+    if (command == "query") {
+      return CmdQuery(args);
+    }
+    if (command == "stats") {
+      return CmdStats(args);
+    }
+    if (command == "verify") {
+      return CmdVerify(args);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
