@@ -19,9 +19,11 @@ int Run(int argc, char** argv) {
       .Flag("datasets", "Epinions", "colon-separated subset")
       .Flag("threads", "2,4,8", "thread counts to sweep")
       .Flag("seed", "1", "generator seed");
+  AddObsFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs_session(args);
 
   std::printf("=== Ablation: lock granularity (paper Alg. 2 semaphore) ===\n");
 

@@ -16,9 +16,11 @@ int Run(int argc, char** argv) {
   args.Flag("scale", "0.05", "fraction of paper dataset sizes")
       .Flag("datasets", "Gnutella:Epinions:DE-USA", "colon-separated subset")
       .Flag("seed", "1", "generator seed");
+  AddObsFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs_session(args);
 
   std::printf("=== Ablation: vertex ordering (paper SS4.2) ===\n");
 

@@ -20,9 +20,11 @@ int Run(int argc, char** argv) {
       .Flag("nodes", "4", "cluster nodes")
       .Flag("sync", "16", "synchronization count")
       .Flag("seed", "1", "generator seed");
+  AddObsFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs_session(args);
   const auto nodes = static_cast<std::size_t>(args.GetInt("nodes"));
   const auto sync = static_cast<std::size_t>(args.GetInt("sync"));
 

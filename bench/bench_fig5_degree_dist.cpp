@@ -18,9 +18,11 @@ int Run(int argc, char** argv) {
       .Flag("datasets", "", "colon-separated subset (empty = all)")
       .Flag("seed", "1", "generator seed")
       .Flag("series", "false", "also print the full degree/count series");
+  AddObsFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs_session(args);
 
   std::printf("=== Paper Figure 5: vertex degree distribution ===\n");
 

@@ -31,9 +31,11 @@ int Run(int argc, char** argv) {
       .Flag("workers", "8", "simulated ParaPLL workers")
       .Flag("points", "12", "CDF sample points (geometric in x)")
       .Flag("seed", "1", "generator seed");
+  AddObsFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs_session(args);
   const auto workers = static_cast<std::size_t>(args.GetInt("workers"));
   const auto points = static_cast<std::size_t>(args.GetInt("points"));
 

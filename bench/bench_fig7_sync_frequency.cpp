@@ -24,9 +24,11 @@ int Run(int argc, char** argv) {
       .Flag("nodes", "6", "cluster nodes (paper: 6)")
       .Flag("workers", "6", "intra-node workers per node")
       .Flag("seed", "1", "generator seed");
+  AddObsFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs_session(args);
   const auto nodes = static_cast<std::size_t>(args.GetInt("nodes"));
   const auto workers = static_cast<std::size_t>(args.GetInt("workers"));
 

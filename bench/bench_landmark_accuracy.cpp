@@ -20,9 +20,11 @@ int Run(int argc, char** argv) {
       .Flag("datasets", "Gnutella:Epinions:DE-USA", "colon-separated subset")
       .Flag("pairs", "300", "sampled query pairs per configuration")
       .Flag("seed", "1", "generator seed");
+  AddObsFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs_session(args);
   const auto pairs = static_cast<std::size_t>(args.GetInt("pairs"));
 
   std::printf("=== Landmark estimation vs exact PLL ===\n");

@@ -25,9 +25,11 @@ int Run(int argc, char** argv) {
       .Flag("sync", "64", "synchronization count c (paper: 1; see header)")
       .Flag("workers", "6", "intra-node workers per cluster node")
       .Flag("seed", "1", "generator seed");
+  AddObsFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs_session(args);
   const auto sync = static_cast<std::size_t>(args.GetInt("sync"));
   const auto workers = static_cast<std::size_t>(args.GetInt("workers"));
 

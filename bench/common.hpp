@@ -15,6 +15,56 @@
 
 namespace parapll::bench {
 
+// --- observability -------------------------------------------------------
+//
+// Every ArgParser-based bench accepts --metrics-json / --trace so a bench
+// run can emit the internal counters (prune hits, lock contention,
+// per-thread busy/idle, sync volume) alongside its printed tables — the
+// numbers BENCH_*.json entries should carry, not just totals.
+
+// Declares the shared observability flags; call before Parse().
+inline util::ArgParser& AddObsFlags(util::ArgParser& args) {
+  return args
+      .Flag("metrics-json", "", "write a metrics snapshot JSON at exit")
+      .Flag("trace", "", "write a Chrome-trace JSON at exit");
+}
+
+// RAII: enables collection per the parsed flags, writes the outputs when
+// the bench scope ends. Construct right after a successful Parse().
+class ObsSession {
+ public:
+  explicit ObsSession(const util::ArgParser& args)
+      : metrics_path_(args.GetString("metrics-json")),
+        trace_path_(args.GetString("trace")) {
+    obs::SetMetricsEnabled(!metrics_path_.empty());
+    obs::SetTracingEnabled(!trace_path_.empty());
+  }
+
+  ~ObsSession() {
+    try {
+      if (!metrics_path_.empty()) {
+        obs::WriteMetricsJsonFile(metrics_path_);
+        std::printf("metrics snapshot -> %s\n", metrics_path_.c_str());
+      }
+      if (!trace_path_.empty()) {
+        obs::TraceSink::Global().WriteChromeJsonFile(trace_path_);
+        std::printf("trace (%zu events) -> %s\n",
+                    obs::TraceSink::Global().EventCount(),
+                    trace_path_.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "obs output failed: %s\n", e.what());
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
 struct BenchDataset {
   graph::DatasetSpec spec;
   graph::Graph graph;

@@ -26,9 +26,11 @@ inline int RunTable34(parallel::AssignmentPolicy policy, const char* table_id,
   args.Flag("scale", "0.05", "fraction of paper dataset sizes")
       .Flag("datasets", "", "colon-separated subset (empty = all)")
       .Flag("seed", "1", "generator seed");
+  AddObsFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs_session(args);
 
   std::printf("=== Paper %s: ParaPLL with %s assignment policy ===\n",
               table_id, ToString(policy).c_str());

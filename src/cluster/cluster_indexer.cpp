@@ -6,6 +6,8 @@
 
 #include "cluster/comm.hpp"
 #include "cluster/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pll/serial_pll.hpp"
 #include "util/rng.hpp"
 #include "util/check.hpp"
@@ -119,6 +121,7 @@ ClusterBuildResult BuildCluster(const graph::Graph& g,
                                 const ClusterBuildOptions& options) {
   PARAPLL_CHECK(options.nodes >= 1);
   PARAPLL_CHECK(options.workers_per_node >= 1);
+  PARAPLL_SPAN("build_cluster", "nodes", options.nodes);
   ClusterBuildResult result;
   result.order = pll::ComputeOrder(g, options.ordering, options.seed);
   const graph::Graph rank_graph = pll::ToRankSpace(g, result.order);
@@ -135,6 +138,7 @@ ClusterBuildResult BuildCluster(const graph::Graph& g,
 
   fabric.Run([&](Communicator& comm) {
     const std::size_t r = comm.Rank();
+    PARAPLL_SPAN("cluster.node", "rank", r);
     auto labels = std::make_unique<vtime::TimestampedLabels>(n);
     pll::PruneScratch scratch(n);
     NodeOutcome& outcome = outcomes[r];
@@ -199,6 +203,7 @@ ClusterBuildResult BuildCluster(const graph::Graph& g,
       clock = epoch_end;
 
       // Synchronization (Alg. 3 line 15): AllGather everyone's List.
+      PARAPLL_SPAN("cluster.sync", "epoch", epoch);
       const auto parts = comm.AllGather(EncodeUpdates(clock, pending));
       double sync_start = clock;
       std::size_t total_entries = 0;
@@ -210,6 +215,7 @@ ClusterBuildResult BuildCluster(const graph::Graph& g,
       }
       const double exchange = options.comm.ExchangeUnits(total_entries, q);
       double merge_units = 0.0;
+      std::size_t merged_entries = 0;
       const double visible_at = sync_start + exchange;
       for (std::size_t s = 0; s < q; ++s) {
         if (s == r) {
@@ -218,6 +224,7 @@ ClusterBuildResult BuildCluster(const graph::Graph& g,
         for (const LabelUpdate& u : decoded[s].updates) {
           labels->Append(u.vertex, u.hub, u.dist, visible_at);
         }
+        merged_entries += decoded[s].updates.size();
         merge_units += options.comm.merge_per_entry *
                        static_cast<double>(decoded[s].updates.size());
       }
@@ -228,6 +235,23 @@ ClusterBuildResult BuildCluster(const graph::Graph& g,
       if (r == 0) {
         std::lock_guard<std::mutex> lock(exchange_mutex);
         entries_exchanged_total += total_entries;
+      }
+      if (obs::MetricsEnabled()) {
+        auto& registry = obs::Registry::Global();
+        static obs::Counter& merged =
+            registry.GetCounter("cluster.labels_merged");
+        static obs::Histogram& per_round =
+            registry.GetHistogram("cluster.entries_per_sync");
+        merged.Add(merged_entries);
+        if (r == 0) {
+          static obs::Counter& rounds =
+              registry.GetCounter("cluster.sync_rounds");
+          static obs::Counter& exchanged =
+              registry.GetCounter("cluster.entries_exchanged");
+          rounds.Add(1);
+          exchanged.Add(total_entries);
+          per_round.Record(total_entries);
+        }
       }
     }
 
@@ -247,6 +271,13 @@ ClusterBuildResult BuildCluster(const graph::Graph& g,
   result.bytes_exchanged = fabric.TotalBytesSent();
   result.sync_rounds = boundaries.size() - 1;
   result.entries_exchanged = entries_exchanged_total;
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::Registry::Global();
+    registry.GetGauge("cluster.bytes_exchanged")
+        .Set(static_cast<double>(result.bytes_exchanged));
+    registry.GetGauge("cluster.makespan_units").Set(result.makespan_units);
+    registry.GetGauge("cluster.comm_units").Set(result.comm_units);
+  }
   PARAPLL_CHECK(outcomes[0].labels != nullptr);
   result.store = outcomes[0].labels->Finalize();
   return result;

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace parapll::cluster {
@@ -69,6 +70,13 @@ void Communicator::Send(std::size_t dst, int tag, Payload payload) {
   PARAPLL_CHECK(dst < Size());
   bytes_sent_ += payload.size();
   ++messages_sent_;
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::Registry::Global();
+    static obs::Counter& messages = registry.GetCounter("comm.messages_sent");
+    static obs::Counter& bytes = registry.GetCounter("comm.bytes_sent");
+    messages.Add(1);
+    bytes.Add(payload.size());
+  }
   fabric_.Deliver(dst, Fabric::Message{rank_, tag, std::move(payload)});
 }
 

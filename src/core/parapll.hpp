@@ -25,6 +25,8 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parapll/parallel_indexer.hpp"
 #include "pll/compact_io.hpp"
 #include "pll/dynamic_index.hpp"

@@ -1,0 +1,165 @@
+// Process-wide metrics registry: named counters, gauges, and log2-bucket
+// histograms with sharded (per-thread-slot) atomic updates and
+// snapshot/merge on read.
+//
+// Design goals, in order:
+//   1. Near-zero cost when disabled: every instrumentation site is gated
+//      on MetricsEnabled(), a single relaxed atomic load.
+//   2. Cheap when enabled: hot-path updates are one relaxed fetch_add on
+//      a cache-line-padded shard chosen by a per-thread index, so worker
+//      threads never contend on the same line.
+//   3. Exact counts: shards are merged on read; concurrent Add()s from N
+//      threads always sum exactly (see tests/obs_metrics_test.cpp).
+//
+// Handles returned by Registry::Get*() are valid for the life of the
+// process — Reset() zeroes values but never invalidates handles — so
+// instrumentation sites cache them in function-local statics:
+//
+//   static obs::Counter& hits =
+//       obs::Registry::Global().GetCounter("pll.prune_hits");
+//   if (obs::MetricsEnabled()) hits.Add(1);
+//
+// Compile-time opt-out: building with -DPARAPLL_NO_OBS turns the
+// PARAPLL_SPAN macro (trace.hpp) into a no-op; metric updates are already
+// behind the runtime flag and cost one predictable branch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace parapll::obs {
+
+// Global runtime switch for metric collection. Off by default.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace internal {
+// Stable small index for the calling thread, used to pick a shard.
+std::size_t ThreadSlot();
+}  // namespace internal
+
+// Monotonically increasing sum, sharded across cache-line-padded atomics.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 64;
+
+  void Add(std::uint64_t n = 1) {
+    shards_[internal::ThreadSlot() & (kShards - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  // Merged value; exact once concurrent writers have quiesced.
+  [[nodiscard]] std::uint64_t Value() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+// Last-written floating-point value (plus Add for accumulation).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v);
+  [[nodiscard]] double Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Read-only merged view of a Histogram.
+struct HistogramSnapshot {
+  // Bucket b = 0 holds value 0; bucket b >= 1 holds values in
+  // [2^(b-1), 2^b).
+  static constexpr std::size_t kBuckets = 65;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when empty
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  [[nodiscard]] double Mean() const;
+  // Approximate quantile (q in [0, 1]): walks the cumulative bucket
+  // counts and interpolates linearly inside the landing bucket, clamped
+  // to the exact recorded [min, max].
+  [[nodiscard]] double Quantile(double q) const;
+};
+
+// Histogram of non-negative integer samples (latencies in ns, sizes in
+// entries/bytes) with power-of-two buckets. Count and sum are sharded;
+// bucket increments are relaxed fetch_adds on shared slots (two threads
+// only collide when recording values in the same power-of-two range).
+class Histogram {
+ public:
+  void Record(std::uint64_t value);
+
+  [[nodiscard]] HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  static constexpr std::size_t kShards = 64;
+
+  std::array<Shard, kShards> shards_{};
+  std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+      buckets_{};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Name -> metric map. Get*() registers on first use and returns a handle
+// that stays valid forever; lookups take a mutex, so hot paths must cache
+// the returned reference (function-local static), not re-look-up per
+// event.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // Zeroes every registered metric. Handles stay valid.
+  void Reset();
+
+  // Flat JSON dump:
+  //   {"counters":{name:value,...},
+  //    "gauges":{name:value,...},
+  //    "histograms":{name:{count,sum,mean,min,max,p50,p90,p99,
+  //                        buckets:[[lo,count],...]},...}}
+  // Values are merged snapshots; call after workers quiesce for exact
+  // totals. See EXPERIMENTS.md for the schema.
+  [[nodiscard]] std::string ToJson() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Convenience: Registry::Global().ToJson() written to `path`; throws
+// std::runtime_error when the file cannot be opened.
+void WriteMetricsJsonFile(const std::string& path);
+
+}  // namespace parapll::obs

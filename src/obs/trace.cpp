@@ -1,0 +1,144 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace parapll::obs {
+
+namespace {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceNowNs() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - anchor)
+          .count());
+}
+
+struct TraceSink::ThreadBuffer {
+  std::uint32_t tid = 0;
+  mutable std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceSink::Impl {
+  mutable std::mutex registry_mutex;
+  std::deque<ThreadBuffer> buffers;  // deque: stable addresses
+};
+
+TraceSink::Impl* TraceSink::impl() {
+  static Impl* impl = new Impl();  // leaked: outlives all threads
+  return impl;
+}
+
+const TraceSink::Impl* TraceSink::impl() const {
+  return const_cast<TraceSink*>(this)->impl();
+}
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+TraceSink::ThreadBuffer& TraceSink::LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [this] {
+    Impl* i = impl();
+    std::lock_guard<std::mutex> lock(i->registry_mutex);
+    i->buffers.emplace_back();
+    ThreadBuffer& fresh = i->buffers.back();
+    fresh.tid = static_cast<std::uint32_t>(i->buffers.size() - 1);
+    return &fresh;
+  }();
+  return *buffer;
+}
+
+void TraceSink::Record(const TraceEvent& event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(event);
+}
+
+std::size_t TraceSink::EventCount() const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->registry_mutex);
+  std::size_t total = 0;
+  for (const ThreadBuffer& buffer : i->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
+    total += buffer.events.size();
+  }
+  return total;
+}
+
+void TraceSink::Clear() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->registry_mutex);
+  for (ThreadBuffer& buffer : i->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
+    buffer.events.clear();
+  }
+}
+
+void TraceSink::WriteChromeJson(std::ostream& out) const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->registry_mutex);
+  util::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const ThreadBuffer& buffer : i->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
+    for (const TraceEvent& e : buffer.events) {
+      w.BeginObject();
+      w.Key("name").Value(e.name);
+      w.Key("cat").Value("parapll");
+      w.Key("ph").Value("X");
+      w.Key("ts").Value(static_cast<double>(e.start_ns) / 1e3);
+      w.Key("dur").Value(static_cast<double>(e.dur_ns) / 1e3);
+      w.Key("pid").Value(std::uint64_t{1});
+      w.Key("tid").Value(std::uint64_t{buffer.tid});
+      if (e.arg_name != nullptr) {
+        w.Key("args").BeginObject().Key(e.arg_name).Value(e.arg).EndObject();
+      }
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").Value("ms");
+  w.EndObject();
+  out << '\n';
+}
+
+std::string TraceSink::ToChromeJson() const {
+  std::ostringstream out;
+  WriteChromeJson(out);
+  return out.str();
+}
+
+void TraceSink::WriteChromeJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  WriteChromeJson(out);
+}
+
+void Span::Commit() { TraceSink::Global().Record(event_); }
+
+}  // namespace parapll::obs

@@ -1,0 +1,116 @@
+// Low-overhead trace spans with Chrome-trace ("chrome://tracing" /
+// Perfetto) JSON export.
+//
+//   PARAPLL_SPAN("build_parallel");                   // scope = span
+//   PARAPLL_SPAN("pruned_dijkstra", "root", root);    // with one arg
+//
+// Each span records a begin timestamp on construction and commits one
+// complete ("ph":"X") event into the calling thread's buffer on scope
+// exit. Buffers are appended to only by their owner thread and protected
+// by a per-buffer mutex so exporting/clearing from another thread is
+// safe; the mutex is uncontended on the hot path.
+//
+// Runtime toggle: spans are no-ops unless SetTracingEnabled(true) was
+// called (one relaxed atomic load per span when off). Compile-time
+// opt-out: -DPARAPLL_NO_OBS compiles PARAPLL_SPAN away entirely.
+//
+// Span names and arg names must be string literals (or otherwise outlive
+// the TraceSink) — buffers store the pointers, not copies.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace parapll::obs {
+
+// Global runtime switch for span collection. Off by default.
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+// Nanoseconds since a process-wide steady-clock anchor. Monotonic.
+std::uint64_t TraceNowNs();
+
+struct TraceEvent {
+  const char* name = nullptr;      // static string
+  const char* arg_name = nullptr;  // static string; nullptr = no arg
+  std::uint64_t arg = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+// Owns every thread's event buffer.
+class TraceSink {
+ public:
+  static TraceSink& Global();
+
+  // Appends to the calling thread's buffer (registering it on first use).
+  void Record(const TraceEvent& event);
+
+  // Total buffered events across all threads.
+  [[nodiscard]] std::size_t EventCount() const;
+
+  // Drops all buffered events (thread buffers stay registered).
+  void Clear();
+
+  // Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  // Timestamps are microseconds; each event carries the recording
+  // thread's stable small tid. Loadable by chrome://tracing and Perfetto.
+  void WriteChromeJson(std::ostream& out) const;
+  [[nodiscard]] std::string ToChromeJson() const;
+  // Convenience file form; throws std::runtime_error on open failure.
+  void WriteChromeJsonFile(const std::string& path) const;
+
+ private:
+  TraceSink() = default;
+
+  struct ThreadBuffer;
+  ThreadBuffer& LocalBuffer();
+
+  struct Impl;
+  Impl* impl();              // lazily built, leaked
+  const Impl* impl() const;  // same instance
+};
+
+// RAII span; prefer the PARAPLL_SPAN macro.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(name, nullptr, 0) {}
+  Span(const char* name, const char* arg_name, std::uint64_t arg) {
+    if (TracingEnabled()) {
+      event_.name = name;
+      event_.arg_name = arg_name;
+      event_.arg = arg;
+      event_.start_ns = TraceNowNs();
+    }
+  }
+  ~Span() {
+    if (event_.name != nullptr) {
+      event_.dur_ns = TraceNowNs() - event_.start_ns;
+      Commit();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Commit();
+
+  TraceEvent event_;  // name == nullptr -> span inactive
+};
+
+}  // namespace parapll::obs
+
+#define PARAPLL_OBS_CONCAT_IMPL(a, b) a##b
+#define PARAPLL_OBS_CONCAT(a, b) PARAPLL_OBS_CONCAT_IMPL(a, b)
+
+#ifndef PARAPLL_NO_OBS
+// Opens a span covering the rest of the enclosing scope.
+//   PARAPLL_SPAN(name)                — plain span
+//   PARAPLL_SPAN(name, arg_name, arg) — span with one integer arg
+#define PARAPLL_SPAN(...) \
+  ::parapll::obs::Span PARAPLL_OBS_CONCAT(parapll_span_, __LINE__)(__VA_ARGS__)
+#else
+#define PARAPLL_SPAN(...) ((void)0)
+#endif

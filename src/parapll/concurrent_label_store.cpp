@@ -21,7 +21,12 @@ std::string ToString(LockMode mode) {
 }
 
 ConcurrentLabelStore::ConcurrentLabelStore(graph::VertexId n, LockMode mode)
-    : mode_(mode), rows_(n) {
+    : mode_(mode),
+      rows_(n),
+      lock_acquired_(
+          &obs::Registry::Global().GetCounter("store.lock_acquired")),
+      lock_contended_(
+          &obs::Registry::Global().GetCounter("store.lock_contended")) {
   switch (mode_) {
     case LockMode::kGlobal:
       break;
@@ -35,6 +40,10 @@ ConcurrentLabelStore::ConcurrentLabelStore(graph::VertexId n, LockMode mode)
 }
 
 void ConcurrentLabelStore::LockRow(graph::VertexId v) {
+  if (obs::MetricsEnabled()) {
+    LockRowCounted(v);
+    return;
+  }
   switch (mode_) {
     case LockMode::kGlobal:
       global_mutex_.lock();
@@ -47,6 +56,38 @@ void ConcurrentLabelStore::LockRow(graph::VertexId v) {
         // spin; rows are short and critical sections tiny
       }
       break;
+  }
+}
+
+void ConcurrentLabelStore::LockRowCounted(graph::VertexId v) {
+  bool contended = false;
+  switch (mode_) {
+    case LockMode::kGlobal:
+      if (!global_mutex_.try_lock()) {
+        contended = true;
+        global_mutex_.lock();
+      }
+      break;
+    case LockMode::kStriped: {
+      std::mutex& m = striped_mutexes_[v & (kStripes - 1)];
+      if (!m.try_lock()) {
+        contended = true;
+        m.lock();
+      }
+      break;
+    }
+    case LockMode::kPerRow:
+      if (row_spinlocks_[v].test_and_set(std::memory_order_acquire)) {
+        contended = true;
+        while (row_spinlocks_[v].test_and_set(std::memory_order_acquire)) {
+          // spin; rows are short and critical sections tiny
+        }
+      }
+      break;
+  }
+  lock_acquired_->Add(1);
+  if (contended) {
+    lock_contended_->Add(1);
   }
 }
 

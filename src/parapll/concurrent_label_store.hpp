@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "obs/metrics.hpp"
 #include "parapll/options.hpp"
 #include "pll/label_store.hpp"
 
@@ -53,6 +54,10 @@ class ConcurrentLabelStore {
  private:
   void LockRow(graph::VertexId v);
   void UnlockRow(graph::VertexId v);
+  // Slow path for LockRow when metrics are on: try-lock first so
+  // contention (somebody else held our lock) is observable as the
+  // "store.lock_contended" counter next to "store.lock_acquired".
+  void LockRowCounted(graph::VertexId v);
 
   static constexpr std::size_t kStripes = 256;  // power of two
 
@@ -61,6 +66,8 @@ class ConcurrentLabelStore {
   mutable std::mutex global_mutex_;
   mutable std::vector<std::mutex> striped_mutexes_;
   mutable std::vector<std::atomic_flag> row_spinlocks_;
+  obs::Counter* lock_acquired_;   // registry-owned; never null
+  obs::Counter* lock_contended_;
 };
 
 }  // namespace parapll::parallel

@@ -1,9 +1,13 @@
 #include "parapll/parallel_indexer.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parapll/concurrent_label_store.hpp"
 #include "pll/serial_pll.hpp"
 #include "util/check.hpp"
@@ -11,9 +15,32 @@
 
 namespace parapll::parallel {
 
+namespace {
+
+// Publishes the per-thread load-balance picture into the registry once
+// per build (names like "indexer.thread.3.busy_seconds").
+void RecordBuildMetrics(const ParallelBuildResult& result) {
+  auto& registry = obs::Registry::Global();
+  registry.GetGauge("indexer.wall_seconds").Set(result.indexing_seconds);
+  registry.GetGauge("indexer.avg_utilization").Set(result.AvgUtilization());
+  registry.GetCounter("indexer.builds").Add(1);
+  for (std::size_t t = 0; t < result.threads.size(); ++t) {
+    const ThreadReport& report = result.threads[t];
+    const std::string prefix = "indexer.thread." + std::to_string(t);
+    registry.GetGauge(prefix + ".busy_seconds").Set(report.busy_seconds);
+    registry.GetGauge(prefix + ".idle_seconds").Set(report.idle_seconds);
+    registry.GetGauge(prefix + ".utilization").Set(report.Utilization());
+    registry.GetGauge(prefix + ".roots_processed")
+        .Set(static_cast<double>(report.roots_processed));
+  }
+}
+
+}  // namespace
+
 ParallelBuildResult BuildParallel(const graph::Graph& g,
                                   const ParallelBuildOptions& options) {
   PARAPLL_CHECK(options.threads >= 1);
+  PARAPLL_SPAN("build_parallel", "threads", options.threads);
   ParallelBuildResult result;
   result.order = pll::ComputeOrder(g, options.ordering, options.seed);
   const graph::Graph rank_graph = pll::ToRankSpace(g, result.order);
@@ -42,11 +69,15 @@ ParallelBuildResult BuildParallel(const graph::Graph& g,
     workers.reserve(p);
     for (std::size_t t = 0; t < p; ++t) {
       workers.emplace_back([&, t] {
+        PARAPLL_SPAN("indexer.worker", "thread", t);
         pll::PruneScratch scratch(n);
-        util::WallTimer busy;
+        util::WallTimer thread_wall;
+        util::AccumulatingTimer busy;
         auto run_root = [&](graph::VertexId root) {
-          const pll::PruneStats stats =
-              pll::PrunedDijkstra(rank_graph, root, labels, scratch);
+          const pll::PruneStats stats = [&] {
+            util::ScopedAccumulate in_dijkstra(busy);
+            return pll::PrunedDijkstra(rank_graph, root, labels, scratch);
+          }();
           pll::Accumulate(totals[t], stats);
           ++reports[t].roots_processed;
           if (options.record_trace) {
@@ -71,6 +102,8 @@ ParallelBuildResult BuildParallel(const graph::Graph& g,
           }
         }
         reports[t].busy_seconds = busy.Seconds();
+        reports[t].idle_seconds =
+            std::max(0.0, thread_wall.Seconds() - busy.Seconds());
       });
     }
     for (auto& worker : workers) {
@@ -85,6 +118,9 @@ ParallelBuildResult BuildParallel(const graph::Graph& g,
   result.threads = std::move(reports);
   result.trace = std::move(trace);
   result.store = labels.TakeFinalized();
+  if (obs::MetricsEnabled()) {
+    RecordBuildMetrics(result);
+  }
   return result;
 }
 

@@ -30,6 +30,18 @@ struct ParallelBuildOptions {
 struct ThreadReport {
   std::size_t roots_processed = 0;
   double busy_seconds = 0.0;  // time spent inside Pruned Dijkstra
+  // Thread lifetime minus busy time: queue wait plus scheduling overhead.
+  // Static vs dynamic load imbalance shows up here directly.
+  double idle_seconds = 0.0;
+
+  [[nodiscard]] double WallSeconds() const {
+    return busy_seconds + idle_seconds;
+  }
+  // Busy fraction of this worker's lifetime, in [0, 1].
+  [[nodiscard]] double Utilization() const {
+    const double wall = WallSeconds();
+    return wall > 0.0 ? busy_seconds / wall : 0.0;
+  }
 };
 
 struct ParallelBuildResult {
@@ -44,6 +56,18 @@ struct ParallelBuildResult {
   // Convenience: wraps store + order into a queryable Index (copies).
   [[nodiscard]] pll::Index MakeIndex() const {
     return pll::Index(store, order);
+  }
+
+  // Mean per-thread Utilization(); 1.0 means perfectly balanced workers.
+  [[nodiscard]] double AvgUtilization() const {
+    if (threads.empty()) {
+      return 0.0;
+    }
+    double total = 0.0;
+    for (const ThreadReport& report : threads) {
+      total += report.Utilization();
+    }
+    return total / static_cast<double>(threads.size());
   }
 };
 

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace parapll::pll {
@@ -75,12 +77,41 @@ class PruneScratch {
   std::vector<graph::VertexId> touched_root_;
 };
 
+// Folds one root's PruneStats into the global metrics registry. Called
+// once per Pruned Dijkstra (not per event), so the cost is a handful of
+// sharded counter adds regardless of graph size.
+inline void RecordPruneMetrics(const PruneStats& stats) {
+  auto& registry = obs::Registry::Global();
+  static obs::Counter& roots = registry.GetCounter("pll.roots_expanded");
+  static obs::Counter& settled = registry.GetCounter("pll.settled");
+  static obs::Counter& pruned = registry.GetCounter("pll.prune_hits");
+  static obs::Counter& labels = registry.GetCounter("pll.labels_added");
+  static obs::Counter& relaxations = registry.GetCounter("pll.relaxations");
+  static obs::Counter& heap_pops = registry.GetCounter("pll.heap_pops");
+  static obs::Counter& heap_pushes = registry.GetCounter("pll.heap_pushes");
+  static obs::Counter& probes = registry.GetCounter("pll.probe_entries");
+  static obs::Histogram& labels_per_root =
+      registry.GetHistogram("pll.labels_per_root");
+  roots.Add(1);
+  settled.Add(stats.settled);
+  pruned.Add(stats.pruned);
+  labels.Add(stats.labels_added);
+  relaxations.Add(stats.relaxations);
+  // The loop drains the heap, so every pushed entry is popped exactly
+  // once (stale ones included).
+  heap_pops.Add(stats.heap_pushes);
+  heap_pushes.Add(stats.heap_pushes);
+  probes.Add(stats.probe_entries);
+  labels_per_root.Record(stats.labels_added);
+}
+
 template <typename Labels>
 PruneStats PrunedDijkstra(const graph::Graph& rank_graph,
                           graph::VertexId root, Labels& labels,
                           PruneScratch& scratch) {
   PARAPLL_DCHECK(root < rank_graph.NumVertices());
   PARAPLL_DCHECK(scratch.Size() == rank_graph.NumVertices());
+  PARAPLL_SPAN("pruned_dijkstra", "root", root);
   PruneStats stats;
 
   // Detect at compile time whether the label store wants search-tree
@@ -174,6 +205,9 @@ PruneStats PrunedDijkstra(const graph::Graph& rank_graph,
   }
   for (graph::VertexId hub : touched_root) {
     root_dist[hub] = graph::kInfiniteDistance;
+  }
+  if (obs::MetricsEnabled()) {
+    RecordPruneMetrics(stats);
   }
   return stats;
 }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace parapll::util {
 
@@ -47,6 +48,22 @@ Summary Summarize(std::vector<double> sample) {
   return s;
 }
 
+std::string Summary::ToJson() const {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("count").Value(static_cast<std::uint64_t>(count));
+  w.Key("mean").Value(mean);
+  w.Key("stddev").Value(stddev);
+  w.Key("min").Value(min);
+  w.Key("max").Value(max);
+  w.Key("p50").Value(p50);
+  w.Key("p90").Value(p90);
+  w.Key("p99").Value(p99);
+  w.EndObject();
+  return out.str();
+}
+
 std::vector<std::pair<std::uint64_t, std::uint64_t>> IntHistogram::Items()
     const {
   return {counts_.begin(), counts_.end()};
@@ -65,6 +82,17 @@ std::string IntHistogram::ToString() const {
   for (const auto& [value, count] : counts_) {
     out << value << ' ' << count << '\n';
   }
+  return out.str();
+}
+
+std::string IntHistogram::ToJson() const {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginArray();
+  for (const auto& [value, count] : counts_) {
+    w.BeginArray().Value(value).Value(count).EndArray();
+  }
+  w.EndArray();
   return out.str();
 }
 

@@ -19,6 +19,10 @@ struct Summary {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+
+  // Compact JSON object, e.g. {"count":3,"mean":1.5,...}; shared by the
+  // obs metrics exporter and the bench harnesses.
+  [[nodiscard]] std::string ToJson() const;
 };
 
 // Computes summary statistics; tolerates an empty sample (all zeros).
@@ -41,6 +45,9 @@ class IntHistogram {
 
   // Renders "value count" lines, one per distinct value.
   [[nodiscard]] std::string ToString() const;
+
+  // Compact JSON array of [value, count] pairs in increasing value order.
+  [[nodiscard]] std::string ToJson() const;
 
  private:
   std::map<std::uint64_t, std::uint64_t> counts_;

@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace parapll::obs {
+namespace {
+
+TEST(MetricsEnabledTest, DefaultsOffAndToggles) {
+  EXPECT_FALSE(MetricsEnabled());
+  SetMetricsEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+}
+
+TEST(CounterTest, SumsExactlyAcrossThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, AddWithIncrement) {
+  Counter counter;
+  counter.Add(5);
+  counter.Add(7);
+  EXPECT_EQ(counter.Value(), 12u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  gauge.Set(1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5);
+  gauge.Add(0.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.75);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxExactAcrossThreads) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const HistogramSnapshot snap = histogram.Snapshot();
+  const std::uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(snap.count, n);
+  EXPECT_EQ(snap.sum, n * (n - 1) / 2);  // 0 + 1 + ... + n-1
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, n - 1);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, n);
+}
+
+TEST(HistogramTest, QuantilesAreOrderedAndBounded) {
+  Histogram histogram;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    histogram.Record(v);
+  }
+  const HistogramSnapshot snap = histogram.Snapshot();
+  const double p50 = snap.Quantile(0.50);
+  const double p90 = snap.Quantile(0.90);
+  const double p99 = snap.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Log-bucketed estimate: right order of magnitude for the median.
+  EXPECT_GT(p50, 100.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 500.5);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram histogram;
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(RegistryTest, HandlesAreStableAndSharedByName) {
+  Registry& registry = Registry::Global();
+  Counter& a = registry.GetCounter("test.registry.shared");
+  Counter& b = registry.GetCounter("test.registry.shared");
+  EXPECT_EQ(&a, &b);
+  a.Reset();
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+  registry.Reset();
+  EXPECT_EQ(a.Value(), 0u);  // Reset zeroes but keeps the handle valid
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndUpdatesSumExactly) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test.registry.concurrent").Reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Deliberately re-looks-up per iteration batch to exercise the
+      // registration path concurrently.
+      Counter& counter = registry.GetCounter("test.registry.concurrent");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.GetCounter("test.registry.concurrent").Value(),
+            kThreads * kPerThread);
+}
+
+TEST(RegistryTest, ToJsonContainsRegisteredMetrics) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test.json.counter").Reset();
+  registry.GetCounter("test.json.counter").Add(42);
+  registry.GetGauge("test.json.gauge").Set(2.5);
+  Histogram& histogram = registry.GetHistogram("test.json.histogram");
+  histogram.Reset();
+  histogram.Record(8);
+  histogram.Record(9);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"test.json.counter\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.gauge\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.histogram\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":17"), std::string::npos) << json;
+  // Both samples land in the [8, 16) bucket.
+  EXPECT_NE(json.find("[8,2]"), std::string::npos) << json;
+}
+
+TEST(JsonWriterTest, EscapesAndNests) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("a\"b").Value("x\ny");
+  w.Key("arr").BeginArray().Value(1).Value(2.5).Value(false).EndArray();
+  w.Key("nested").BeginObject().Key("k").Value("v").EndObject();
+  w.EndObject();
+  EXPECT_EQ(out.str(),
+            "{\"a\\\"b\":\"x\\ny\",\"arr\":[1,2.5,false],"
+            "\"nested\":{\"k\":\"v\"}}");
+}
+
+}  // namespace
+}  // namespace parapll::obs

@@ -1,0 +1,147 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace parapll::obs {
+namespace {
+
+// Scoped enable/disable so tests do not leak tracing state.
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    TraceSink::Global().Clear();
+    SetTracingEnabled(true);
+  }
+  ~ScopedTracing() {
+    SetTracingEnabled(false);
+    TraceSink::Global().Clear();
+  }
+};
+
+TEST(TraceClockTest, MonotonicTimestamps) {
+  std::uint64_t last = TraceNowNs();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = TraceNowNs();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(SpanTest, DisabledSpansRecordNothing) {
+  TraceSink::Global().Clear();
+  SetTracingEnabled(false);
+  {
+    PARAPLL_SPAN("should_not_appear");
+  }
+  EXPECT_EQ(TraceSink::Global().EventCount(), 0u);
+}
+
+TEST(SpanTest, RecordsCompleteEventsWithArgs) {
+  ScopedTracing tracing;
+  {
+    PARAPLL_SPAN("outer");
+    PARAPLL_SPAN("inner", "root", std::uint64_t{42});
+  }
+  EXPECT_EQ(TraceSink::Global().EventCount(), 2u);
+  const std::string json = TraceSink::Global().ToChromeJson();
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"root\":42}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+}
+
+TEST(SpanTest, ChromeJsonShapeIsWellFormed) {
+  ScopedTracing tracing;
+  {
+    PARAPLL_SPAN("a");
+  }
+  const std::string json = TraceSink::Global().ToChromeJson();
+  // Starts as a traceEvents object and balances its brackets — the shape
+  // chrome://tracing / Perfetto requires.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++braces;
+    } else if (c == '}') {
+      --braces;
+    } else if (c == '[') {
+      ++brackets;
+    } else if (c == ']') {
+      --brackets;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(SpanTest, PerThreadBuffersGetDistinctTids) {
+  ScopedTracing tracing;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 10; ++i) {
+        PARAPLL_SPAN("worker_span");
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(TraceSink::Global().EventCount(),
+            static_cast<std::size_t>(kThreads) * 10);
+}
+
+TEST(SpanTest, TimestampsWithinThreadAreMonotonic) {
+  ScopedTracing tracing;
+  for (int i = 0; i < 100; ++i) {
+    PARAPLL_SPAN("seq");
+  }
+  // Events were recorded by one thread in scope-exit order; parse the ts
+  // values back out and check they never go backwards.
+  const std::string json = TraceSink::Global().ToChromeJson();
+  std::vector<double> timestamps;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    timestamps.push_back(std::stod(json.substr(pos)));
+  }
+  ASSERT_EQ(timestamps.size(), 100u);
+  for (std::size_t i = 1; i < timestamps.size(); ++i) {
+    EXPECT_GE(timestamps[i], timestamps[i - 1]);
+  }
+}
+
+TEST(TraceSinkTest, ClearDropsEvents) {
+  ScopedTracing tracing;
+  {
+    PARAPLL_SPAN("to_drop");
+  }
+  EXPECT_GT(TraceSink::Global().EventCount(), 0u);
+  TraceSink::Global().Clear();
+  EXPECT_EQ(TraceSink::Global().EventCount(), 0u);
+}
+
+}  // namespace
+}  // namespace parapll::obs

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "pll/serial_pll.hpp"
 #include "pll/verify.hpp"
 
@@ -130,6 +133,81 @@ TEST(ParallelIndexer, MoreThreadsNeverLoseCorrectnessOnDisconnected) {
     EXPECT_EQ(index.Query(0, 3), graph::kInfiniteDistance);
     EXPECT_EQ(index.Query(6, 0), graph::kInfiniteDistance);
   }
+}
+
+TEST(ParallelIndexer, ThreadReportsSplitBusyFromIdle) {
+  const Graph g = graph::BarabasiAlbert(150, 3, Uniform(), 46);
+  ParallelBuildOptions options;
+  options.threads = 4;
+  options.policy = AssignmentPolicy::kDynamic;
+  const auto result = BuildParallel(g, options);
+  ASSERT_EQ(result.threads.size(), 4u);
+  for (const auto& report : result.threads) {
+    EXPECT_GE(report.busy_seconds, 0.0);
+    EXPECT_GE(report.idle_seconds, 0.0);
+    EXPECT_GE(report.WallSeconds(), report.busy_seconds);
+    EXPECT_GE(report.Utilization(), 0.0);
+    EXPECT_LE(report.Utilization(), 1.0);
+  }
+  EXPECT_GE(result.AvgUtilization(), 0.0);
+  EXPECT_LE(result.AvgUtilization(), 1.0);
+  // Workers spend the bulk of the build inside Pruned Dijkstra.
+  double busy_total = 0.0;
+  for (const auto& report : result.threads) {
+    busy_total += report.busy_seconds;
+  }
+  EXPECT_GT(busy_total, 0.0);
+}
+
+TEST(ParallelIndexer, InstrumentedCountersMatchPruneStatsTotals) {
+  // The obs counters are fed once per root from the same PruneStats the
+  // build returns, so after a build with metrics on the registry must
+  // agree exactly with result.totals.
+  obs::Registry& registry = obs::Registry::Global();
+  registry.Reset();
+  obs::SetMetricsEnabled(true);
+  const Graph g = graph::BarabasiAlbert(160, 3, Uniform(), 47);
+  ParallelBuildOptions options;
+  options.threads = 4;
+  options.policy = AssignmentPolicy::kDynamic;
+  const auto result = BuildParallel(g, options);
+  obs::SetMetricsEnabled(false);
+
+  EXPECT_EQ(registry.GetCounter("pll.roots_expanded").Value(),
+            g.NumVertices());
+  EXPECT_EQ(registry.GetCounter("pll.settled").Value(),
+            result.totals.settled);
+  EXPECT_EQ(registry.GetCounter("pll.prune_hits").Value(),
+            result.totals.pruned);
+  EXPECT_EQ(registry.GetCounter("pll.labels_added").Value(),
+            result.totals.labels_added);
+  EXPECT_EQ(registry.GetCounter("pll.relaxations").Value(),
+            result.totals.relaxations);
+  EXPECT_EQ(registry.GetCounter("pll.heap_pushes").Value(),
+            result.totals.heap_pushes);
+  EXPECT_EQ(registry.GetCounter("pll.probe_entries").Value(),
+            result.totals.probe_entries);
+  // Labels-added histogram saw every root once.
+  EXPECT_EQ(registry.GetHistogram("pll.labels_per_root").Snapshot().count,
+            g.NumVertices());
+  // Every Append took (and counted) a row lock at least once; reads lock
+  // too, so acquired >= appended labels.
+  EXPECT_GE(registry.GetCounter("store.lock_acquired").Value(),
+            result.totals.labels_added);
+  // The per-thread load-balance gauges were published.
+  double busy_sum = 0.0;
+  for (std::size_t t = 0; t < result.threads.size(); ++t) {
+    const std::string prefix = "indexer.thread." + std::to_string(t);
+    busy_sum += registry.GetGauge(prefix + ".busy_seconds").Value();
+    EXPECT_DOUBLE_EQ(
+        registry.GetGauge(prefix + ".roots_processed").Value(),
+        static_cast<double>(result.threads[t].roots_processed));
+  }
+  double busy_expected = 0.0;
+  for (const auto& report : result.threads) {
+    busy_expected += report.busy_seconds;
+  }
+  EXPECT_DOUBLE_EQ(busy_sum, busy_expected);
 }
 
 TEST(ParallelIndexer, LabelCountAtLeastSerial) {

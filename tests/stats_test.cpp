@@ -82,6 +82,35 @@ TEST(CumulativeSeriesTest, EmptySeries) {
   EXPECT_TRUE(series.SampleGeometric(8).empty());
 }
 
+TEST(SummaryTest, ToJsonRoundTripsFields) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  const std::string json = s.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+}
+
+TEST(SummaryTest, ToJsonEmptySampleIsValid) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.ToJson(),
+            "{\"count\":0,\"mean\":0,\"stddev\":0,\"min\":0,\"max\":0,"
+            "\"p50\":0,\"p90\":0,\"p99\":0}");
+}
+
+TEST(IntHistogramTest, ToJsonListsValueCountPairs) {
+  IntHistogram h;
+  h.Add(3);
+  h.Add(3);
+  h.Add(7);
+  EXPECT_EQ(h.ToJson(), "[[3,2],[7,1]]");
+  EXPECT_EQ(IntHistogram{}.ToJson(), "[]");
+}
+
 TEST(CumulativeSeriesTest, GeometricSampleEndsAtLastStep) {
   CumulativeSeries series;
   for (int i = 0; i < 1000; ++i) {

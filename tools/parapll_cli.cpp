@@ -31,7 +31,11 @@ int Usage() {
       "           --out FILE [--compact]\n"
       "  query    --index FILE [--compact] [-s S -t T]  (else stdin pairs)\n"
       "  stats    --index FILE [--compact]\n"
-      "  verify   --index FILE [--compact] --graph FILE --pairs N\n",
+      "  verify   --index FILE [--compact] --graph FILE --pairs N\n"
+      "observability (any command):\n"
+      "  --metrics-json FILE   write a metrics snapshot (counters, gauges,\n"
+      "                        histograms) as JSON on exit\n"
+      "  --trace FILE          write a chrome://tracing / Perfetto trace\n",
       stderr);
   return 1;
 }
@@ -84,6 +88,19 @@ int CmdBuild(util::ArgParser& args) {
 
   BuildReport report;
   const pll::Index index = builder.Build(g, &report);
+  // With metrics on, sample a batch of random queries so a single build
+  // run also yields a query-latency histogram in the snapshot.
+  if (obs::MetricsEnabled() && index.NumVertices() > 0) {
+    util::Rng rng(static_cast<std::uint64_t>(args.GetInt("seed")) ^
+                  0x0b5e77eULL);
+    for (int i = 0; i < 1024; ++i) {
+      const auto s = static_cast<graph::VertexId>(
+          rng.Below(index.NumVertices()));
+      const auto t = static_cast<graph::VertexId>(
+          rng.Below(index.NumVertices()));
+      (void)index.Query(s, t);
+    }
+  }
   const std::string out = args.GetString("out");
   if (args.GetBool("compact")) {
     std::ofstream stream(out, std::ios::binary);
@@ -183,29 +200,65 @@ int main(int argc, char** argv) {
       .Flag("compact", "false", "use varint index format")
       .Flag("pairs", "500", "verification pair count (verify)")
       .Flag("s", "-1", "query source vertex")
-      .Flag("t", "-1", "query target vertex");
+      .Flag("t", "-1", "query target vertex")
+      .Flag("metrics-json", "", "write metrics snapshot JSON (any command)")
+      .Flag("trace", "", "write Chrome-trace JSON (any command)");
   if (!args.Parse(argc - 1, argv + 1)) {
     return 1;
   }
+  const std::string metrics_path = args.GetString("metrics-json");
+  const std::string trace_path = args.GetString("trace");
+  obs::SetMetricsEnabled(!metrics_path.empty());
+  obs::SetTracingEnabled(!trace_path.empty());
+  // Writes whatever was collected even when the command fails partway —
+  // a truncated run's metrics are exactly what you want when debugging.
+  // Must not throw: it runs on the error path too.
+  auto flush_obs = [&]() -> bool {
+    bool ok = true;
+    if (!metrics_path.empty()) {
+      try {
+        obs::WriteMetricsJsonFile(metrics_path);
+        std::fprintf(stderr, "metrics snapshot -> %s\n", metrics_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        ok = false;
+      }
+    }
+    if (!trace_path.empty()) {
+      try {
+        obs::TraceSink::Global().WriteChromeJsonFile(trace_path);
+        std::fprintf(stderr, "trace (%zu events) -> %s\n",
+                     obs::TraceSink::Global().EventCount(),
+                     trace_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        ok = false;
+      }
+    }
+    return ok;
+  };
   try {
+    int code = 1;
     if (command == "generate") {
-      return CmdGenerate(args);
+      code = CmdGenerate(args);
+    } else if (command == "build") {
+      code = CmdBuild(args);
+    } else if (command == "query") {
+      code = CmdQuery(args);
+    } else if (command == "stats") {
+      code = CmdStats(args);
+    } else if (command == "verify") {
+      code = CmdVerify(args);
+    } else {
+      return Usage();
     }
-    if (command == "build") {
-      return CmdBuild(args);
+    if (!flush_obs()) {
+      return 1;
     }
-    if (command == "query") {
-      return CmdQuery(args);
-    }
-    if (command == "stats") {
-      return CmdStats(args);
-    }
-    if (command == "verify") {
-      return CmdVerify(args);
-    }
+    return code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    flush_obs();
     return 1;
   }
-  return Usage();
 }
