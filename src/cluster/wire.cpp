@@ -1,8 +1,7 @@
 #include "cluster/wire.hpp"
 
 #include <cstring>
-
-#include "util/check.hpp"
+#include <stdexcept>
 
 namespace parapll::cluster {
 
@@ -14,9 +13,13 @@ void AppendPod(Payload& out, const T& value) {
   out.insert(out.end(), bytes, bytes + sizeof(T));
 }
 
+// Payloads arrive off the fabric and may be truncated or corrupted, so
+// decode failures are recoverable errors, not process aborts.
 template <typename T>
 T TakePod(const Payload& in, std::size_t& pos) {
-  PARAPLL_CHECK(pos + sizeof(T) <= in.size());
+  if (in.size() - pos < sizeof(T) || pos > in.size()) {
+    throw std::runtime_error("truncated wire payload");
+  }
   T value{};
   std::memcpy(&value, in.data() + pos, sizeof(T));
   pos += sizeof(T);
@@ -42,10 +45,18 @@ Payload EncodeUpdates(double node_clock,
 }
 
 DecodedUpdates DecodeUpdates(const Payload& payload) {
+  constexpr std::size_t kRecordBytes =
+      2 * sizeof(graph::VertexId) + sizeof(graph::Distance);
   DecodedUpdates decoded;
   std::size_t pos = 0;
   decoded.node_clock = TakePod<double>(payload, pos);
   const auto count = TakePod<std::uint64_t>(payload, pos);
+  // Bound the declared count by the bytes actually present *before*
+  // reserving: a short payload with a huge count must be a decode error,
+  // not a multi-gigabyte allocation.
+  if (count > (payload.size() - pos) / kRecordBytes) {
+    throw std::runtime_error("wire payload shorter than declared count");
+  }
   decoded.updates.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     LabelUpdate u;
@@ -54,7 +65,9 @@ DecodedUpdates DecodeUpdates(const Payload& payload) {
     u.dist = TakePod<graph::Distance>(payload, pos);
     decoded.updates.push_back(u);
   }
-  PARAPLL_CHECK(pos == payload.size());
+  if (pos != payload.size()) {
+    throw std::runtime_error("trailing bytes after wire payload");
+  }
   return decoded;
 }
 

@@ -28,6 +28,9 @@ struct DecodedUpdates {
   std::vector<LabelUpdate> updates;
 };
 
+// Decodes a payload produced by EncodeUpdates. Wire bytes are untrusted:
+// truncation, a count larger than the payload can hold, and trailing
+// garbage all throw std::runtime_error.
 DecodedUpdates DecodeUpdates(const Payload& payload);
 
 }  // namespace parapll::cluster

@@ -35,6 +35,7 @@
 #include "pll/path_index.hpp"
 #include "pll/serial_pll.hpp"
 #include "pll/verify.hpp"
+#include "query/query_engine.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"

@@ -20,6 +20,14 @@ using Distance = std::uint64_t;
 inline constexpr Distance kInfiniteDistance =
     std::numeric_limits<Distance>::max();
 
+// Distance addition that clamps at kInfiniteDistance instead of wrapping.
+// Inputs at or beyond infinity stay infinite, so a query over labels with
+// unreachable / corrupted distances can be "redundant but never wrong":
+// a wrapped sum would silently report a too-small distance.
+[[nodiscard]] constexpr Distance SaturatingAdd(Distance a, Distance b) {
+  return b >= kInfiniteDistance - a ? kInfiniteDistance : a + b;
+}
+
 inline constexpr VertexId kInvalidVertex =
     std::numeric_limits<VertexId>::max();
 

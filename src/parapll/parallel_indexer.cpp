@@ -28,6 +28,7 @@ void RecordBuildMetrics(const ParallelBuildResult& result) {
     const ThreadReport& report = result.threads[t];
     const std::string prefix = "indexer.thread." + std::to_string(t);
     registry.GetGauge(prefix + ".busy_seconds").Set(report.busy_seconds);
+    registry.GetGauge(prefix + ".setup_seconds").Set(report.setup_seconds);
     registry.GetGauge(prefix + ".idle_seconds").Set(report.idle_seconds);
     registry.GetGauge(prefix + ".utilization").Set(report.Utilization());
     registry.GetGauge(prefix + ".roots_processed")
@@ -70,7 +71,12 @@ ParallelBuildResult BuildParallel(const graph::Graph& g,
     for (std::size_t t = 0; t < p; ++t) {
       workers.emplace_back([&, t] {
         PARAPLL_SPAN("indexer.worker", "thread", t);
+        // The wall clock that idle_seconds is derived from must start
+        // *after* the O(n) scratch construction: booking setup as idle
+        // time inflates the per-thread idle share on large graphs.
+        util::WallTimer setup_wall;
         pll::PruneScratch scratch(n);
+        reports[t].setup_seconds = setup_wall.Seconds();
         util::WallTimer thread_wall;
         util::AccumulatingTimer busy;
         auto run_root = [&](graph::VertexId root) {

@@ -30,8 +30,13 @@ struct ParallelBuildOptions {
 struct ThreadReport {
   std::size_t roots_processed = 0;
   double busy_seconds = 0.0;  // time spent inside Pruned Dijkstra
-  // Thread lifetime minus busy time: queue wait plus scheduling overhead.
-  // Static vs dynamic load imbalance shows up here directly.
+  // Time constructing the O(|V|) per-thread scratch arrays before the
+  // first root. Booked separately: it is neither useful indexing work nor
+  // queue wait, so folding it into idle_seconds would skew the Fig. 8
+  // utilization numbers on large graphs.
+  double setup_seconds = 0.0;
+  // Root-loop lifetime minus busy time: queue wait plus scheduling
+  // overhead. Static vs dynamic load imbalance shows up here directly.
   double idle_seconds = 0.0;
 
   [[nodiscard]] double WallSeconds() const {

@@ -1,7 +1,9 @@
 #include "pll/compact_io.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "pll/ordering.hpp"
 #include "util/check.hpp"
 
 namespace parapll::pll {
@@ -72,7 +74,10 @@ LabelStore ReadCompactStore(std::istream& in) {
   std::vector<std::vector<LabelEntry>> rows(n);
   for (graph::VertexId v = 0; v < n; ++v) {
     const auto count = ReadVarint(in);
-    rows[v].reserve(count);
+    // A corrupted count cannot be trusted for a large up-front reserve —
+    // each claimed entry needs at least 2 stream bytes, so push_back
+    // growth stays bounded by what the stream actually holds.
+    rows[v].reserve(std::min<std::uint64_t>(count, 4096));
     graph::VertexId hub = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
       hub += static_cast<graph::VertexId>(ReadVarint(in));
@@ -96,6 +101,7 @@ Index ReadCompactIndex(std::istream& in) {
   for (auto& v : order) {
     v = static_cast<graph::VertexId>(ReadVarint(in));
   }
+  ValidateOrderPermutation(order);
   return Index(std::move(store), std::move(order));
 }
 

@@ -62,6 +62,9 @@ Index Index::Load(std::istream& in) {
   if (!in) {
     throw std::runtime_error("truncated index stream");
   }
+  // A corrupted order would index out of bounds in InvertOrder and make
+  // RankOf nonsense; reject it here with a recoverable error instead.
+  ValidateOrderPermutation(order);
   return Index(std::move(store), std::move(order));
 }
 

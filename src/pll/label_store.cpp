@@ -14,7 +14,7 @@ graph::Distance QueryRows(std::span<const LabelEntry> a,
   std::size_t j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i].hub == b[j].hub) {
-      const graph::Distance sum = a[i].dist + b[j].dist;
+      const graph::Distance sum = graph::SaturatingAdd(a[i].dist, b[j].dist);
       best = std::min(best, sum);
       ++i;
       ++j;
@@ -35,6 +35,11 @@ std::size_t MutableLabels::TotalEntries() const {
   return total;
 }
 
+namespace {
+constexpr LabelEntry kRowSentinel{graph::kInvalidVertex,
+                                  graph::kInfiniteDistance};
+}  // namespace
+
 LabelStore LabelStore::FromRows(std::vector<std::vector<LabelEntry>> rows) {
   LabelStore store;
   store.offsets_.reserve(rows.size() + 1);
@@ -48,6 +53,10 @@ LabelStore LabelStore::FromRows(std::vector<std::vector<LabelEntry>> rows) {
     // Dedup by hub, keeping the smallest distance (first after sort).
     std::size_t kept = 0;
     for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].hub == graph::kInvalidVertex) {
+        throw std::runtime_error(
+            "label row uses the reserved sentinel hub id");
+      }
       if (kept > 0 && row[kept - 1].hub == row[i].hub) {
         continue;
       }
@@ -55,6 +64,7 @@ LabelStore LabelStore::FromRows(std::vector<std::vector<LabelEntry>> rows) {
     }
     store.entries_.insert(store.entries_.end(), row.begin(),
                           row.begin() + static_cast<std::ptrdiff_t>(kept));
+    store.entries_.push_back(kRowSentinel);
     store.offsets_.push_back(store.entries_.size());
   }
   return store;
@@ -74,7 +84,7 @@ double LabelStore::AvgLabelSize() const {
   if (n == 0) {
     return 0.0;
   }
-  return static_cast<double>(entries_.size()) / static_cast<double>(n);
+  return static_cast<double>(TotalEntries()) / static_cast<double>(n);
 }
 
 std::size_t LabelStore::MemoryBytes() const {
@@ -102,15 +112,20 @@ T ReadPod(std::istream& in) {
 }  // namespace
 
 void LabelStore::Serialize(std::ostream& out) const {
+  const graph::VertexId n = NumVertices();
   WritePod(out, kLabelMagic);
-  WritePod(out, static_cast<std::uint64_t>(NumVertices()));
-  WritePod(out, static_cast<std::uint64_t>(entries_.size()));
-  for (std::size_t offset : offsets_) {
-    WritePod(out, static_cast<std::uint64_t>(offset));
+  WritePod(out, static_cast<std::uint64_t>(n));
+  WritePod(out, static_cast<std::uint64_t>(TotalEntries()));
+  // Logical offsets (sentinels excluded): row v started at offsets_[v] - v
+  // because each earlier row contributed exactly one sentinel.
+  for (std::size_t v = 0; v < offsets_.size(); ++v) {
+    WritePod(out, static_cast<std::uint64_t>(offsets_[v] - v));
   }
-  for (const LabelEntry& e : entries_) {
-    WritePod(out, e.hub);
-    WritePod(out, e.dist);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (const LabelEntry& e : Row(v)) {
+      WritePod(out, e.hub);
+      WritePod(out, e.dist);
+    }
   }
 }
 
@@ -120,18 +135,47 @@ LabelStore LabelStore::Deserialize(std::istream& in) {
   }
   const auto n = ReadPod<std::uint64_t>(in);
   const auto total = ReadPod<std::uint64_t>(in);
+
+  // Offsets are read one by one and validated incrementally, so a header
+  // advertising an absurd n cannot trigger a huge up-front allocation:
+  // memory growth stays proportional to bytes actually present.
+  std::vector<std::size_t> row_size;  // logical (sentinel-free) row sizes
+  std::size_t previous = ReadPod<std::uint64_t>(in);
+  if (previous != 0) {
+    throw std::runtime_error("label store offsets must start at 0");
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const auto offset = static_cast<std::size_t>(ReadPod<std::uint64_t>(in));
+    if (offset < previous || offset > total) {
+      throw std::runtime_error("label store offsets are not monotonic");
+    }
+    row_size.push_back(offset - previous);
+    previous = offset;
+  }
+  if (previous != total) {
+    throw std::runtime_error(
+        "label store offset table does not cover every entry");
+  }
+
   LabelStore store;
-  store.offsets_.resize(n + 1);
-  for (auto& offset : store.offsets_) {
-    offset = static_cast<std::size_t>(ReadPod<std::uint64_t>(in));
+  store.offsets_.reserve(row_size.size() + 1);
+  store.offsets_.push_back(0);
+  for (std::size_t size : row_size) {
+    graph::VertexId previous_hub = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      LabelEntry e;
+      e.hub = ReadPod<graph::VertexId>(in);
+      e.dist = ReadPod<graph::Distance>(in);
+      if (e.hub == graph::kInvalidVertex ||
+          (i > 0 && e.hub <= previous_hub)) {
+        throw std::runtime_error("label row hubs are not strictly sorted");
+      }
+      previous_hub = e.hub;
+      store.entries_.push_back(e);
+    }
+    store.entries_.push_back(kRowSentinel);
+    store.offsets_.push_back(store.entries_.size());
   }
-  store.entries_.resize(total);
-  for (auto& e : store.entries_) {
-    e.hub = ReadPod<graph::VertexId>(in);
-    e.dist = ReadPod<graph::Distance>(in);
-  }
-  PARAPLL_CHECK(store.offsets_.front() == 0 &&
-                store.offsets_.back() == store.entries_.size());
   return store;
 }
 

@@ -4,6 +4,15 @@
 //  * MutableLabels — append-friendly rows used while indexing (serial);
 //  * LabelStore    — immutable, flat, rank-sorted rows used for queries.
 // Both live in *rank space* (see pll/ordering.hpp).
+//
+// Query layout. LabelStore keeps every row contiguous in one flat array
+// of 16-byte LabelEntry records and terminates each row with a sentinel
+// entry whose hub is kInvalidVertex (and whose distance is infinite).
+// Real hubs are ranks in [0, n) and therefore always compare smaller than
+// the sentinel, so the hot sorted-merge loop (QuerySentinel) needs no
+// per-iteration bounds checks: the two cursors meet at the sentinels and
+// the common-hub test terminates the loop. Row() spans exclude the
+// sentinel; only the raw RowBegin() pointers see it.
 #pragma once
 
 #include <cstdint>
@@ -16,17 +25,57 @@
 
 namespace parapll::pll {
 
-struct LabelEntry {
+struct alignas(16) LabelEntry {
   graph::VertexId hub = 0;       // rank of the landmark vertex
   graph::Distance dist = 0;      // exact-or-upper-bound σ from hub
 
   friend bool operator==(const LabelEntry&, const LabelEntry&) = default;
 };
+static_assert(sizeof(LabelEntry) == 16,
+              "query layout assumes 16-byte label entries");
+
+// Hint the first cache line of a label row into cache ahead of the merge.
+inline void PrefetchRow(const LabelEntry* row) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(row, /*rw=*/0, /*locality=*/3);
+#else
+  (void)row;
+#endif
+}
 
 // QUERY(s, t, L) over two rank-sorted rows: min over common hubs of
-// dist(hub, s) + dist(hub, t); infinity when no hub is shared.
+// dist(hub, s) + dist(hub, t); infinity when no hub is shared. The
+// general bounds-checked form; works on any sorted rows (MutableLabels,
+// DynamicIndex). Distance sums saturate at kInfiniteDistance.
 graph::Distance QueryRows(std::span<const LabelEntry> a,
                           std::span<const LabelEntry> b);
+
+// Sentinel-terminated fast path: both pointers must address rows whose
+// final entry has hub == kInvalidVertex (LabelStore guarantees this).
+// One branch on hub order per iteration, no length tracking.
+inline graph::Distance QuerySentinel(const LabelEntry* a,
+                                     const LabelEntry* b) {
+  graph::Distance best = graph::kInfiniteDistance;
+  for (;;) {
+    const graph::VertexId ha = a->hub;
+    const graph::VertexId hb = b->hub;
+    if (ha == hb) {
+      if (ha == graph::kInvalidVertex) {
+        return best;  // both cursors reached their sentinel
+      }
+      const graph::Distance sum = graph::SaturatingAdd(a->dist, b->dist);
+      if (sum < best) {
+        best = sum;
+      }
+      ++a;
+      ++b;
+    } else if (ha < hb) {
+      ++a;  // ha is a real hub (the sentinel is the maximum VertexId)
+    } else {
+      ++b;
+    }
+  }
+}
 
 // Growable per-vertex rows for serial indexing.
 class MutableLabels {
@@ -61,13 +110,14 @@ class MutableLabels {
   std::vector<std::vector<LabelEntry>> rows_;
 };
 
-// Immutable query-stage store.
+// Immutable query-stage store (sentinel-terminated rows, see file header).
 class LabelStore {
  public:
   LabelStore() = default;
 
   // Builds from per-vertex rows; each row is sorted by hub rank and
-  // deduplicated (keeping the minimum distance per hub).
+  // deduplicated (keeping the minimum distance per hub). Throws
+  // std::runtime_error if any entry uses the reserved sentinel hub.
   static LabelStore FromRows(std::vector<std::vector<LabelEntry>> rows);
   static LabelStore FromMutable(const MutableLabels& labels);
 
@@ -76,32 +126,49 @@ class LabelStore {
         offsets_.empty() ? 0 : offsets_.size() - 1);
   }
 
+  // L(v) without the trailing sentinel.
   [[nodiscard]] std::span<const LabelEntry> Row(graph::VertexId v) const {
-    return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
+    return {entries_.data() + offsets_[v],
+            entries_.data() + (offsets_[v + 1] - 1)};
   }
 
-  // QUERY(s, t) in rank space.
+  // Raw pointer to the sentinel-terminated row of v — QuerySentinel input.
+  [[nodiscard]] const LabelEntry* RowBegin(graph::VertexId v) const {
+    return entries_.data() + offsets_[v];
+  }
+
+  // QUERY(s, t) in rank space (sentinel merge, rows prefetched on entry).
   [[nodiscard]] graph::Distance Query(graph::VertexId s,
                                       graph::VertexId t) const {
-    return QueryRows(Row(s), Row(t));
+    const LabelEntry* a = RowBegin(s);
+    const LabelEntry* b = RowBegin(t);
+    PrefetchRow(a);
+    PrefetchRow(b);
+    return QuerySentinel(a, b);
   }
 
-  [[nodiscard]] std::size_t TotalEntries() const { return entries_.size(); }
+  // Label entries excluding the per-row sentinels.
+  [[nodiscard]] std::size_t TotalEntries() const {
+    return entries_.size() - NumVertices();
+  }
 
   // "LN" in the paper's tables: average label entries per vertex.
   [[nodiscard]] double AvgLabelSize() const;
 
-  // Approximate resident size of the store in bytes.
+  // Approximate resident size of the store in bytes (sentinels included).
   [[nodiscard]] std::size_t MemoryBytes() const;
 
+  // The serialized format carries no sentinels; Deserialize validates the
+  // stream (magic, monotonic offsets, sorted hub rows) and throws
+  // std::runtime_error on any corruption.
   void Serialize(std::ostream& out) const;
   static LabelStore Deserialize(std::istream& in);
 
   friend bool operator==(const LabelStore&, const LabelStore&) = default;
 
  private:
-  std::vector<std::size_t> offsets_;  // n + 1
-  std::vector<LabelEntry> entries_;
+  std::vector<std::size_t> offsets_;  // n + 1, rows include their sentinel
+  std::vector<LabelEntry> entries_;   // n sentinels interleaved
 };
 
 }  // namespace parapll::pll

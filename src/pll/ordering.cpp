@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <queue>
+#include <stdexcept>
 
 #include "baseline/dijkstra.hpp"
 #include "graph/degree.hpp"
@@ -115,6 +116,16 @@ std::vector<graph::VertexId> ComputeOrder(const graph::Graph& g,
   }
   PARAPLL_CHECK_MSG(false, "unreachable ordering policy");
   return {};
+}
+
+void ValidateOrderPermutation(const std::vector<graph::VertexId>& order) {
+  std::vector<bool> seen(order.size(), false);
+  for (const graph::VertexId v : order) {
+    if (v >= order.size() || seen[v]) {
+      throw std::runtime_error("vertex order is not a permutation of [0, n)");
+    }
+    seen[v] = true;
+  }
 }
 
 std::vector<graph::VertexId> InvertOrder(

@@ -33,6 +33,11 @@ std::vector<graph::VertexId> ComputeOrder(const graph::Graph& g,
 std::vector<graph::VertexId> InvertOrder(
     const std::vector<graph::VertexId>& order);
 
+// Throws std::runtime_error unless `order` is a permutation of [0, n) —
+// the check every loader of untrusted index bytes must run before
+// handing the order to InvertOrder (which aborts on API misuse).
+void ValidateOrderPermutation(const std::vector<graph::VertexId>& order);
+
 // Relabels g into rank space: new id of v = rank_of[v].
 graph::Graph ToRankSpace(const graph::Graph& g,
                          const std::vector<graph::VertexId>& order);

@@ -164,7 +164,10 @@ PruneStats PrunedDijkstra(const graph::Graph& rank_graph,
     labels.ForEach(u, [&](graph::VertexId hub, graph::Distance hd) {
       ++stats.probe_entries;
       if (hub < root && root_dist[hub] != graph::kInfiniteDistance) {
-        const graph::Distance via = root_dist[hub] + hd;
+        // Saturating: a wrapped sum would look like a short witness path
+        // and wrongly prune u (paper Proposition 1 only tolerates
+        // *redundant* labels, never missing ones).
+        const graph::Distance via = graph::SaturatingAdd(root_dist[hub], hd);
         if (via < covered) {
           covered = via;
         }
@@ -184,7 +187,7 @@ PruneStats PrunedDijkstra(const graph::Graph& rank_graph,
 
     for (const graph::Arc& arc : rank_graph.Neighbors(u)) {
       ++stats.relaxations;
-      const graph::Distance nd = d + arc.weight;
+      const graph::Distance nd = graph::SaturatingAdd(d, arc.weight);
       if (nd < dist[arc.target]) {
         if (dist[arc.target] == graph::kInfiniteDistance) {
           touched_dist.push_back(arc.target);

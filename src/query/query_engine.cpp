@@ -1,0 +1,121 @@
+#include "query/query_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace parapll::query {
+
+QueryEngine::QueryEngine(const pll::Index& index, QueryEngineOptions options)
+    : index_(index), options_(options) {
+  PARAPLL_CHECK(options_.threads >= 1);
+  options_.min_pairs_per_shard = std::max<std::size_t>(
+      options_.min_pairs_per_shard, 1);
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+}
+
+void QueryEngine::RunShard(std::span<const QueryPair> pairs,
+                           std::span<graph::Distance> out) const {
+  const pll::LabelStore& store = index_.Store();
+  // Software pipeline: resolve + prefetch the *next* pair's label rows
+  // while the current pair merges, hiding the first-cache-line miss of
+  // each row behind useful work.
+  auto rows_of = [&](const QueryPair& pair) {
+    const auto a = store.RowBegin(index_.RankOf(pair.first));
+    const auto b = store.RowBegin(index_.RankOf(pair.second));
+    pll::PrefetchRow(a);
+    pll::PrefetchRow(b);
+    return std::pair{a, b};
+  };
+  if (pairs.empty()) {
+    return;
+  }
+  auto next = rows_of(pairs[0]);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto current = next;
+    if (i + 1 < pairs.size()) {
+      next = rows_of(pairs[i + 1]);
+    }
+    out[i] = pairs[i].first == pairs[i].second
+                 ? graph::Distance{0}
+                 : pll::QuerySentinel(current.first, current.second);
+  }
+}
+
+void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
+                             std::span<graph::Distance> out) {
+  if (pairs.size() != out.size()) {
+    throw std::invalid_argument("QueryBatch spans differ in size");
+  }
+  const graph::VertexId n = index_.NumVertices();
+  for (const auto& [s, t] : pairs) {
+    if (s >= n || t >= n) {
+      throw std::out_of_range("QueryBatch pair references vertex >= n");
+    }
+  }
+  PARAPLL_SPAN("query.batch", "pairs", pairs.size());
+
+  const bool metrics = obs::MetricsEnabled();
+  const std::uint64_t start_ns = metrics ? obs::TraceNowNs() : 0;
+
+  // Shard count: enough to keep every worker busy, but never shards so
+  // small that hand-off overhead dominates the merges themselves.
+  std::size_t shards = std::min(
+      options_.threads,
+      (pairs.size() + options_.min_pairs_per_shard - 1) /
+          options_.min_pairs_per_shard);
+  shards = std::max<std::size_t>(shards, 1);
+
+  if (shards == 1 || pool_ == nullptr) {
+    RunShard(pairs, out);
+  } else {
+    const std::size_t chunk = (pairs.size() + shards - 1) / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t begin = s * chunk;
+      const std::size_t end = std::min(begin + chunk, pairs.size());
+      if (begin >= end) {
+        break;
+      }
+      pool_->Submit([this, metrics, shard_pairs = pairs.subspan(begin, end - begin),
+                     shard_out = out.subspan(begin, end - begin)](std::size_t) {
+        const std::uint64_t shard_start = metrics ? obs::TraceNowNs() : 0;
+        RunShard(shard_pairs, shard_out);
+        if (metrics) {
+          static obs::Histogram& shard_ns =
+              obs::Registry::Global().GetHistogram("query.batch.shard_ns");
+          shard_ns.Record(obs::TraceNowNs() - shard_start);
+        }
+      });
+    }
+    pool_->Wait();
+  }
+
+  if (metrics) {
+    auto& registry = obs::Registry::Global();
+    static obs::Counter& batches = registry.GetCounter("query.batch.batches");
+    static obs::Counter& answered = registry.GetCounter("query.batch.pairs");
+    static obs::Histogram& latency =
+        registry.GetHistogram("query.batch.latency_ns");
+    static obs::Histogram& sizes =
+        registry.GetHistogram("query.batch.pairs_per_batch");
+    batches.Add(1);
+    answered.Add(pairs.size());
+    latency.Record(obs::TraceNowNs() - start_ns);
+    sizes.Record(pairs.size());
+  }
+}
+
+std::vector<graph::Distance> QueryEngine::QueryBatch(
+    std::span<const QueryPair> pairs) {
+  std::vector<graph::Distance> out(pairs.size());
+  QueryBatch(pairs, out);
+  return out;
+}
+
+}  // namespace parapll::query

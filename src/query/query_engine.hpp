@@ -1,0 +1,71 @@
+// Batched, multi-threaded query serving (the paper's §1 use case: index
+// once, then answer "heavy traffic" distance queries in microseconds).
+//
+// A QueryEngine borrows a built pll::Index and owns a persistent worker
+// pool. QueryBatch shards a batch of (s, t) pairs into contiguous chunks,
+// answers each chunk with the sentinel-row merge (pll::QuerySentinel)
+// while prefetching the next pair's label rows, and blocks until the
+// whole batch is answered in place. Results are bit-identical to calling
+// Index::Query per pair — batching changes scheduling, never answers.
+//
+// Threading contract: the engine may be shared by concurrent callers;
+// each QueryBatch call only reads the index and writes its own output
+// span, and the shared pool's Wait() returns no earlier than the caller's
+// own shards finishing. Metrics (when enabled) land in the global
+// registry under "query.batch.*" — see EXPERIMENTS.md for the schema.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pll/index.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parapll::query {
+
+// One (source, target) pair in original vertex ids.
+using QueryPair = std::pair<graph::VertexId, graph::VertexId>;
+
+struct QueryEngineOptions {
+  // Worker threads answering shards; 1 answers on the calling thread.
+  std::size_t threads = 1;
+  // A shard smaller than this is not worth a pool hand-off; small batches
+  // therefore run inline even on a multi-threaded engine.
+  std::size_t min_pairs_per_shard = 256;
+};
+
+class QueryEngine {
+ public:
+  // The index must outlive the engine.
+  explicit QueryEngine(const pll::Index& index,
+                       QueryEngineOptions options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  [[nodiscard]] std::size_t Threads() const { return options_.threads; }
+  [[nodiscard]] const pll::Index& IndexRef() const { return index_; }
+
+  // Answers pairs[i] into out[i] for every i. Throws std::invalid_argument
+  // when the spans disagree in size and std::out_of_range when any vertex
+  // id is >= NumVertices() (checked up front; out is untouched on throw).
+  void QueryBatch(std::span<const QueryPair> pairs,
+                  std::span<graph::Distance> out);
+
+  // Convenience allocating overload.
+  std::vector<graph::Distance> QueryBatch(std::span<const QueryPair> pairs);
+
+ private:
+  // Answers one contiguous shard (already validated).
+  void RunShard(std::span<const QueryPair> pairs,
+                std::span<graph::Distance> out) const;
+
+  const pll::Index& index_;
+  QueryEngineOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when threads == 1
+};
+
+}  // namespace parapll::query

@@ -1,0 +1,316 @@
+// Untrusted-input hardening: index bytes and wire payloads may come from
+// disk or the fabric, so every corruption must surface as a recoverable
+// std::runtime_error — never an abort, a wild allocation, or a silently
+// wrong distance.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/wire.hpp"
+#include "graph/generators.hpp"
+#include "parapll/parallel_indexer.hpp"
+#include "pll/compact_io.hpp"
+#include "pll/index.hpp"
+#include "pll/label_store.hpp"
+#include "pll/pruned_dijkstra.hpp"
+#include "pll/serial_pll.hpp"
+
+namespace parapll {
+namespace {
+
+using pll::LabelEntry;
+using pll::LabelStore;
+
+// Serialized LabelStore layout (all little-endian pods):
+//   [0, 8)                magic "LablSto1"
+//   [8, 16)               n (u64)
+//   [16, 24)              total logical entries (u64)
+//   [24, 24 + 8*(n+1))    logical offsets (u64 each)
+//   then per entry        u32 hub + u64 dist (12 bytes)
+constexpr std::size_t kNField = 8;
+constexpr std::size_t kTotalField = 16;
+constexpr std::size_t kOffsetTable = 24;
+
+pll::Index MakeIndex() {
+  const graph::Graph g =
+      graph::ErdosRenyi(20, 50, {graph::WeightModel::kUniform, 10}, 42);
+  pll::SerialBuildResult result = pll::BuildSerial(g, {});
+  return pll::Index(std::move(result.store), std::move(result.order));
+}
+
+std::string StoreBytes(const LabelStore& store) {
+  std::ostringstream out(std::ios::binary);
+  store.Serialize(out);
+  return out.str();
+}
+
+std::string IndexBytes(const pll::Index& index) {
+  std::ostringstream out(std::ios::binary);
+  index.Save(out);
+  return out.str();
+}
+
+template <typename T>
+void Patch(std::string& bytes, std::size_t pos, T value) {
+  ASSERT_LE(pos + sizeof(T), bytes.size());
+  std::memcpy(bytes.data() + pos, &value, sizeof(T));
+}
+
+template <typename T>
+T Peek(const std::string& bytes, std::size_t pos) {
+  T value{};
+  std::memcpy(&value, bytes.data() + pos, sizeof(T));
+  return value;
+}
+
+LabelStore DeserializeBytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return LabelStore::Deserialize(in);
+}
+
+pll::Index LoadIndexBytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return pll::Index::Load(in);
+}
+
+TEST(CorruptLabelStore, RoundTripIsByteExact) {
+  const pll::Index index = MakeIndex();
+  const std::string bytes = StoreBytes(index.Store());
+  EXPECT_EQ(DeserializeBytes(bytes), index.Store());
+}
+
+TEST(CorruptLabelStore, BadMagicThrows) {
+  std::string bytes = StoreBytes(MakeIndex().Store());
+  bytes[0] ^= 0x5a;
+  EXPECT_THROW(DeserializeBytes(bytes), std::runtime_error);
+}
+
+// Deserialize consumes the stream exactly, so cutting it anywhere —
+// header, offset table, or mid-entry — must throw, never misparse.
+TEST(CorruptLabelStore, EveryTruncationThrows) {
+  const std::string bytes = StoreBytes(MakeIndex().Store());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(DeserializeBytes(bytes.substr(0, len)), std::runtime_error)
+        << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(CorruptLabelStore, DecreasingOffsetThrows) {
+  std::string bytes = StoreBytes(MakeIndex().Store());
+  // Row 0 (rank 0's own label) is non-empty, so offsets[1] >= 1 and
+  // forcing offsets[2] back to 0 breaks monotonicity.
+  ASSERT_GE(Peek<std::uint64_t>(bytes, kOffsetTable + 8), 1u);
+  Patch<std::uint64_t>(bytes, kOffsetTable + 16, 0);
+  EXPECT_THROW(DeserializeBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptLabelStore, OffsetPastTotalThrows) {
+  std::string bytes = StoreBytes(MakeIndex().Store());
+  const auto total = Peek<std::uint64_t>(bytes, kTotalField);
+  Patch<std::uint64_t>(bytes, kOffsetTable + 8, total + 1);
+  EXPECT_THROW(DeserializeBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptLabelStore, OffsetTableNotCoveringTotalThrows) {
+  std::string bytes = StoreBytes(MakeIndex().Store());
+  const auto total = Peek<std::uint64_t>(bytes, kTotalField);
+  Patch<std::uint64_t>(bytes, kTotalField, total + 1);
+  EXPECT_THROW(DeserializeBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptLabelStore, SentinelHubInEntryThrows) {
+  std::string bytes = StoreBytes(MakeIndex().Store());
+  const auto n = Peek<std::uint64_t>(bytes, kNField);
+  const std::size_t entries_base =
+      kOffsetTable + 8 * static_cast<std::size_t>(n + 1);
+  Patch<graph::VertexId>(bytes, entries_base, graph::kInvalidVertex);
+  EXPECT_THROW(DeserializeBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptLabelStore, UnsortedHubsThrow) {
+  std::string bytes = StoreBytes(MakeIndex().Store());
+  const auto n = Peek<std::uint64_t>(bytes, kNField);
+  const std::size_t entries_base =
+      kOffsetTable + 8 * static_cast<std::size_t>(n + 1);
+  // Find a row with at least two entries and make its second hub equal
+  // to its first, breaking the strictly-sorted invariant.
+  std::uint64_t previous = 0;
+  for (std::uint64_t v = 1; v <= n; ++v) {
+    const auto offset =
+        Peek<std::uint64_t>(bytes, kOffsetTable + 8 * static_cast<std::size_t>(v));
+    if (offset - previous >= 2) {
+      const std::size_t row = entries_base + 12 * static_cast<std::size_t>(previous);
+      Patch<graph::VertexId>(bytes, row + 12, Peek<graph::VertexId>(bytes, row));
+      EXPECT_THROW(DeserializeBytes(bytes), std::runtime_error);
+      return;
+    }
+    previous = offset;
+  }
+  FAIL() << "test graph produced no row with two entries";
+}
+
+// A header advertising an absurd vertex count must fail on the missing
+// bytes, not attempt an n-proportional allocation first.
+TEST(CorruptLabelStore, HugeDeclaredVertexCountThrows) {
+  std::string bytes = StoreBytes(MakeIndex().Store());
+  Patch<std::uint64_t>(bytes, kNField, std::uint64_t{1} << 56);
+  EXPECT_THROW(DeserializeBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptLabelStore, FromRowsRejectsSentinelHub) {
+  std::vector<std::vector<LabelEntry>> rows(1);
+  rows[0].push_back(LabelEntry{graph::kInvalidVertex, 3});
+  EXPECT_THROW(LabelStore::FromRows(std::move(rows)), std::runtime_error);
+}
+
+TEST(CorruptIndex, TruncatedOrderThrows) {
+  const std::string bytes = IndexBytes(MakeIndex());
+  EXPECT_THROW(LoadIndexBytes(bytes.substr(0, bytes.size() - 2)),
+               std::runtime_error);
+}
+
+TEST(CorruptIndex, DuplicateOrderEntryThrows) {
+  const pll::Index index = MakeIndex();
+  std::string bytes = IndexBytes(index);
+  const std::size_t order_base =
+      bytes.size() - sizeof(graph::VertexId) * index.NumVertices();
+  Patch<graph::VertexId>(
+      bytes, order_base,
+      Peek<graph::VertexId>(bytes, order_base + sizeof(graph::VertexId)));
+  EXPECT_THROW(LoadIndexBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptIndex, OutOfRangeOrderEntryThrows) {
+  const pll::Index index = MakeIndex();
+  std::string bytes = IndexBytes(index);
+  const std::size_t order_base =
+      bytes.size() - sizeof(graph::VertexId) * index.NumVertices();
+  Patch<graph::VertexId>(bytes, order_base, index.NumVertices() + 7);
+  EXPECT_THROW(LoadIndexBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptCompact, NonPermutationOrderThrows) {
+  const pll::Index index = MakeIndex();
+  std::ostringstream out(std::ios::binary);
+  pll::WriteCompactIndex(index, out);
+  std::string bytes = out.str();
+  // n < 128, so each order value is a single varint byte at the tail;
+  // zeroing them all yields a duplicate-riddled non-permutation.
+  ASSERT_LT(index.NumVertices(), 128u);
+  for (std::size_t i = bytes.size() - index.NumVertices(); i < bytes.size();
+       ++i) {
+    bytes[i] = 0;
+  }
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(pll::ReadCompactIndex(in), std::runtime_error);
+}
+
+TEST(CorruptCompact, HugeDeclaredRowCountThrows) {
+  // magic, n = 1, row count = 2^50, then nothing: the reader must hit the
+  // missing entry bytes instead of reserving 2^50 slots.
+  std::ostringstream out(std::ios::binary);
+  pll::WriteVarint(out, 0x504c4c7a69703176ULL);  // "PLLzip1v"
+  pll::WriteVarint(out, 1);
+  pll::WriteVarint(out, std::uint64_t{1} << 50);
+  std::istringstream in(out.str(), std::ios::binary);
+  EXPECT_THROW(pll::ReadCompactStore(in), std::runtime_error);
+}
+
+cluster::Payload SamplePayload() {
+  const std::vector<cluster::LabelUpdate> updates = {
+      {1, 0, 7}, {2, 0, 9}, {3, 1, 4}};
+  return cluster::EncodeUpdates(0.5, updates);
+}
+
+TEST(CorruptWire, RoundTripStillDecodes) {
+  const cluster::DecodedUpdates decoded = cluster::DecodeUpdates(SamplePayload());
+  EXPECT_EQ(decoded.node_clock, 0.5);
+  ASSERT_EQ(decoded.updates.size(), 3u);
+  EXPECT_EQ(decoded.updates[2], (cluster::LabelUpdate{3, 1, 4}));
+}
+
+// A declared count far beyond the payload must throw before reserve(),
+// not allocate gigabytes and then fault on the missing records.
+TEST(CorruptWire, OversizedCountThrows) {
+  cluster::Payload payload = SamplePayload();
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(payload.data() + 8, &huge, sizeof(huge));
+  EXPECT_THROW(cluster::DecodeUpdates(payload), std::runtime_error);
+}
+
+TEST(CorruptWire, PayloadShorterThanCountThrows) {
+  cluster::Payload payload = SamplePayload();
+  payload.resize(payload.size() - 4);  // count still says 3 records
+  EXPECT_THROW(cluster::DecodeUpdates(payload), std::runtime_error);
+}
+
+TEST(Saturation, SaturatingAddClampsAtInfinity) {
+  using graph::kInfiniteDistance;
+  using graph::SaturatingAdd;
+  EXPECT_EQ(SaturatingAdd(2, 3), 5u);
+  EXPECT_EQ(SaturatingAdd(0, kInfiniteDistance), kInfiniteDistance);
+  EXPECT_EQ(SaturatingAdd(kInfiniteDistance, 0), kInfiniteDistance);
+  EXPECT_EQ(SaturatingAdd(kInfiniteDistance, kInfiniteDistance),
+            kInfiniteDistance);
+  EXPECT_EQ(SaturatingAdd(kInfiniteDistance - 1, 1), kInfiniteDistance);
+  EXPECT_EQ(SaturatingAdd(std::uint64_t{1} << 63, std::uint64_t{1} << 63),
+            kInfiniteDistance);
+}
+
+// Regression: two huge label distances used to wrap to a tiny sum and
+// report a bogus short path; they must saturate to "not connected".
+TEST(Saturation, QueryRowsDoesNotWrap) {
+  const std::vector<LabelEntry> a = {{0, std::uint64_t{1} << 63}};
+  const std::vector<LabelEntry> b = {{0, std::uint64_t{1} << 63}};
+  EXPECT_EQ(pll::QueryRows(a, b), graph::kInfiniteDistance);
+}
+
+TEST(Saturation, QuerySentinelDoesNotWrap) {
+  const std::vector<LabelEntry> a = {
+      {0, std::uint64_t{1} << 63},
+      {graph::kInvalidVertex, graph::kInfiniteDistance}};
+  const std::vector<LabelEntry> b = {
+      {0, (std::uint64_t{1} << 63) + 5},
+      {graph::kInvalidVertex, graph::kInfiniteDistance}};
+  EXPECT_EQ(pll::QuerySentinel(a.data(), b.data()), graph::kInfiniteDistance);
+}
+
+// Regression: a wrapped sum in the pruning probe looked like a 0-length
+// witness path and pruned every vertex, silently dropping labels (the
+// paper's Proposition 1 tolerates redundant labels, never missing ones).
+TEST(Saturation, PrunedDijkstraDoesNotPruneOnWrappedSum) {
+  const std::vector<graph::Edge> edges = {{0, 1, 5}};
+  const graph::Graph g = graph::Graph::FromEdges(2, edges);
+  pll::MutableLabels labels(2);
+  labels.Append(0, 0, std::uint64_t{1} << 63);
+  labels.Append(1, 0, std::uint64_t{1} << 63);
+  pll::PruneScratch scratch(2);
+  const pll::PruneStats stats = pll::PrunedDijkstra(g, 1, labels, scratch);
+  EXPECT_EQ(stats.pruned, 0u);
+  EXPECT_EQ(stats.labels_added, 2u);
+  ASSERT_EQ(labels.Row(0).size(), 2u);
+  EXPECT_EQ(labels.Row(0).back(), (LabelEntry{1, 5}));
+}
+
+// Worker scratch construction is O(|V|) and happens before the first root
+// is pulled; it must be booked as setup, never as idle time.
+TEST(ThreadAccounting, SetupTimeIsBookedSeparatelyFromIdle) {
+  const graph::Graph g =
+      graph::BarabasiAlbert(400, 3, {graph::WeightModel::kUniform, 10}, 8);
+  const auto result = parallel::BuildParallel(g, {.threads = 2});
+  ASSERT_EQ(result.threads.size(), 2u);
+  for (const parallel::ThreadReport& report : result.threads) {
+    EXPECT_GE(report.setup_seconds, 0.0);
+    EXPECT_GE(report.busy_seconds, 0.0);
+    EXPECT_GE(report.idle_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(report.WallSeconds(),
+                     report.busy_seconds + report.idle_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace parapll

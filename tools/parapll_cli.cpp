@@ -7,13 +7,18 @@
 //   parapll_cli query    --index g.index            # pairs from stdin
 //   parapll_cli stats    --index g.index
 //   parapll_cli verify   --index g.index --graph g.txt --pairs 500
+//   parapll_cli query-bench --index g.index --pairs 100000 --threads 8 \
+//                        --batch 8192 [--pair-file pairs.txt]
 //
 // Exit code 0 on success; 1 on usage errors or failed verification.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/parapll.hpp"
 #include "util/cli.hpp"
@@ -32,6 +37,8 @@ int Usage() {
       "  query    --index FILE [--compact] [-s S -t T]  (else stdin pairs)\n"
       "  stats    --index FILE [--compact]\n"
       "  verify   --index FILE [--compact] --graph FILE --pairs N\n"
+      "  query-bench --index FILE [--compact] --pairs N [--pair-file F]\n"
+      "           --threads P --batch B   (batched vs per-call throughput)\n"
       "observability (any command):\n"
       "  --metrics-json FILE   write a metrics snapshot (counters, gauges,\n"
       "                        histograms) as JSON on exit\n"
@@ -178,6 +185,89 @@ int CmdVerify(util::ArgParser& args) {
   return verdict.Ok() ? 0 : 1;
 }
 
+// Serving-style benchmark against a saved index: answers the same pairs
+// per-call and through QueryEngine::QueryBatch, verifies the distances
+// are identical, and prints both throughputs.
+int CmdQueryBench(util::ArgParser& args) {
+  const pll::Index index =
+      LoadIndex(args.GetString("index"), args.GetBool("compact"));
+  if (index.NumVertices() == 0) {
+    std::fprintf(stderr, "empty index\n");
+    return 1;
+  }
+
+  std::vector<query::QueryPair> pairs;
+  const std::string pair_file = args.GetString("pair-file");
+  if (!pair_file.empty()) {
+    std::ifstream in(pair_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", pair_file.c_str());
+      return 1;
+    }
+    std::uint64_t s = 0;
+    std::uint64_t t = 0;
+    while (in >> s >> t) {
+      pairs.emplace_back(static_cast<graph::VertexId>(s),
+                         static_cast<graph::VertexId>(t));
+    }
+  } else {
+    util::Rng rng(static_cast<std::uint64_t>(args.GetInt("seed")) ^
+                  0x71e27b31ULL);
+    const auto count = static_cast<std::size_t>(args.GetInt("pairs"));
+    pairs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      pairs.emplace_back(
+          static_cast<graph::VertexId>(rng.Below(index.NumVertices())),
+          static_cast<graph::VertexId>(rng.Below(index.NumVertices())));
+    }
+  }
+  if (pairs.empty()) {
+    std::fprintf(stderr, "no query pairs\n");
+    return 1;
+  }
+
+  std::vector<graph::Distance> expected(pairs.size());
+  util::WallTimer per_call;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    expected[i] = index.Query(pairs[i].first, pairs[i].second);
+  }
+  const double per_call_seconds = per_call.Seconds();
+
+  const auto threads = static_cast<std::size_t>(args.GetInt("threads"));
+  const auto batch =
+      std::max<std::size_t>(static_cast<std::size_t>(args.GetInt("batch")), 1);
+  query::QueryEngine engine(index, {.threads = threads});
+  std::vector<graph::Distance> got(pairs.size());
+  util::WallTimer batched;
+  for (std::size_t begin = 0; begin < pairs.size(); begin += batch) {
+    const std::size_t size = std::min(batch, pairs.size() - begin);
+    engine.QueryBatch(std::span(pairs).subspan(begin, size),
+                      std::span(got).subspan(begin, size));
+  }
+  const double batched_seconds = batched.Seconds();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (got[i] != expected[i]) {
+      std::fprintf(stderr, "MISMATCH at pair %zu\n", i);
+      return 1;
+    }
+  }
+
+  const double per_call_qps =
+      static_cast<double>(pairs.size()) / per_call_seconds;
+  const double batched_qps =
+      static_cast<double>(pairs.size()) / batched_seconds;
+  std::printf("pairs:      %zu\n", pairs.size());
+  std::printf("per-call:   %s  (%.2f Mq/s)\n",
+              util::FormatDuration(per_call_seconds).c_str(),
+              per_call_qps / 1e6);
+  std::printf("batched:    %s  (%.2f Mq/s, %zu threads, batch %zu)\n",
+              util::FormatDuration(batched_seconds).c_str(),
+              batched_qps / 1e6, threads, batch);
+  std::printf("speedup:    %.2fx; all distances matched per-call Query\n",
+              batched_qps / per_call_qps);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,7 +288,9 @@ int main(int argc, char** argv) {
       .Flag("sync", "16", "cluster sync count (build)")
       .Flag("policy", "dynamic", "assignment policy (build)")
       .Flag("compact", "false", "use varint index format")
-      .Flag("pairs", "500", "verification pair count (verify)")
+      .Flag("pairs", "500", "pair count (verify/query-bench)")
+      .Flag("pair-file", "", "file of 's t' pairs (query-bench)")
+      .Flag("batch", "8192", "pairs per QueryBatch call (query-bench)")
       .Flag("s", "-1", "query source vertex")
       .Flag("t", "-1", "query target vertex")
       .Flag("metrics-json", "", "write metrics snapshot JSON (any command)")
@@ -249,6 +341,8 @@ int main(int argc, char** argv) {
       code = CmdStats(args);
     } else if (command == "verify") {
       code = CmdVerify(args);
+    } else if (command == "query-bench") {
+      code = CmdQueryBench(args);
     } else {
       return Usage();
     }
