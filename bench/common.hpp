@@ -6,7 +6,11 @@
 // restricts to a comma-free colon-separated subset.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,22 +30,71 @@ namespace parapll::bench {
 inline util::ArgParser& AddObsFlags(util::ArgParser& args) {
   return args
       .Flag("metrics-json", "", "write a metrics snapshot JSON at exit")
-      .Flag("trace", "", "write a Chrome-trace JSON at exit");
+      .Flag("trace", "", "write a Chrome-trace JSON at exit")
+      .Flag("telemetry-jsonl", "", "stream periodic telemetry JSON lines")
+      .Flag("telemetry-period-ms", "100", "telemetry sampling period")
+      .Flag("stats-port", "-1",
+            "serve /metrics + /healthz on 127.0.0.1:N (0 = ephemeral)");
 }
 
 // RAII: enables collection per the parsed flags, writes the outputs when
-// the bench scope ends. Construct right after a successful Parse().
+// the bench scope ends — or when SIGINT/SIGTERM lands mid-bench, via the
+// signal-flush hook, so a half-finished sweep still leaves its data.
 class ObsSession {
  public:
   explicit ObsSession(const util::ArgParser& args)
       : metrics_path_(args.GetString("metrics-json")),
-        trace_path_(args.GetString("trace")) {
-    obs::SetMetricsEnabled(!metrics_path_.empty());
+        trace_path_(args.GetString("trace")),
+        telemetry_path_(args.GetString("telemetry-jsonl")),
+        stats_port_(args.GetInt("stats-port")) {
+    obs::SetMetricsEnabled(!metrics_path_.empty() ||
+                           !telemetry_path_.empty() || stats_port_ >= 0);
     obs::SetTracingEnabled(!trace_path_.empty());
+    if (!telemetry_path_.empty() || stats_port_ >= 0) {
+      obs::TelemetryOptions options;
+      options.period = std::chrono::milliseconds(std::max<std::int64_t>(
+          args.GetInt("telemetry-period-ms"), 1));
+      options.jsonl_path = telemetry_path_;
+      sampler_.emplace(options);
+      sampler_->Start();
+    }
+    if (stats_port_ >= 0) {
+      server_.emplace(obs::StatsServerOptions{
+          .port = static_cast<std::uint16_t>(stats_port_),
+          .sampler = sampler_ ? &*sampler_ : nullptr});
+      server_->Start();
+      std::fprintf(stderr, "stats endpoint: http://127.0.0.1:%u/metrics\n",
+                   server_->Port());
+    }
+    signal_flush_.emplace([this] { FlushNow(); });
   }
 
   ~ObsSession() {
+    signal_flush_.reset();  // drop the hook before members die
+    FlushNow();
+  }
+
+  // Idempotent: runs once whether called by the destructor or by the
+  // signal watcher thread racing it.
+  void FlushNow() {
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    if (flushed_) {
+      return;
+    }
+    flushed_ = true;
     try {
+      if (sampler_) {
+        sampler_->Stop();  // final sample + JSONL flush
+        if (!telemetry_path_.empty()) {
+          std::printf("telemetry (%llu samples) -> %s\n",
+                      static_cast<unsigned long long>(
+                          sampler_->TotalSamples()),
+                      telemetry_path_.c_str());
+        }
+      }
+      if (server_) {
+        server_->Stop();
+      }
       if (!metrics_path_.empty()) {
         obs::WriteMetricsJsonFile(metrics_path_);
         std::printf("metrics snapshot -> %s\n", metrics_path_.c_str());
@@ -63,6 +116,13 @@ class ObsSession {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string telemetry_path_;
+  std::int64_t stats_port_ = -1;
+  std::optional<obs::TelemetrySampler> sampler_;
+  std::optional<obs::StatsServer> server_;
+  std::optional<obs::ScopedSignalFlush> signal_flush_;
+  std::mutex flush_mutex_;
+  bool flushed_ = false;
 };
 
 struct BenchDataset {

@@ -251,6 +251,14 @@ ClusterBuildResult BuildCluster(const graph::Graph& g,
           rounds.Add(1);
           exchanged.Add(total_entries);
           per_round.Record(total_entries);
+          // Label growth on the representative node, refreshed at every
+          // sync so the telemetry sampler sees it rise round by round.
+          registry.GetGauge("cluster.labels_memory_bytes")
+              .Set(static_cast<double>(labels->MemoryBytes()));
+          registry.GetGauge("cluster.sync_rounds_done")
+              .Set(static_cast<double>(epoch + 1));
+          registry.GetGauge("cluster.sync_rounds_total")
+              .Set(static_cast<double>(boundaries.size() - 1));
         }
       }
     }

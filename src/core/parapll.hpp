@@ -25,7 +25,9 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
+#include "obs/expose.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parapll/parallel_indexer.hpp"
 #include "pll/compact_io.hpp"
@@ -36,6 +38,7 @@
 #include "pll/serial_pll.hpp"
 #include "pll/verify.hpp"
 #include "query/query_engine.hpp"
+#include "query/slow_query_log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"

@@ -1,0 +1,252 @@
+#include "obs/expose.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define PARAPLL_HAVE_SOCKETS 1
+#endif
+
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace parapll::obs {
+
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out = "parapll_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+void WriteDouble(std::ostream& out, double v) {
+  // Prometheus accepts plain decimal or scientific notation; default
+  // ostream formatting of a double is both.
+  std::ostringstream tmp;
+  tmp << v;
+  out << tmp.str();
+}
+
+void RenderHistogram(std::ostream& out, const std::string& pname,
+                     const HistogramSnapshot& snap) {
+  out << "# TYPE " << pname << " histogram\n";
+  // Bucket b holds [2^(b-1), 2^b) (b=0 holds exactly 0); samples are
+  // integers, so the inclusive Prometheus upper bound of bucket b is
+  // 2^b - 1. Cumulate up to the highest non-empty bucket, then +Inf.
+  std::size_t highest = 0;
+  for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    if (snap.buckets[b] != 0) {
+      highest = b;
+    }
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b <= highest; ++b) {
+    cumulative += snap.buckets[b];
+    const std::uint64_t le =
+        b == 0 ? 0 : (std::uint64_t{1} << (b - 1)) * 2 - 1;
+    out << pname << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+  }
+  out << pname << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+  out << pname << "_sum " << snap.sum << "\n";
+  out << pname << "_count " << snap.count << "\n";
+  // Interpolated quantiles as companion gauges (log2-bucket estimates,
+  // exact to within the landing bucket — see HistogramSnapshot::Quantile).
+  const std::pair<const char*, double> quantiles[] = {
+      {"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}};
+  for (const auto& [suffix, q] : quantiles) {
+    out << "# TYPE " << pname << suffix << " gauge\n";
+    out << pname << suffix << " ";
+    WriteDouble(out, snap.Quantile(q));
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+void RenderPrometheusText(const RegistrySnapshot& snapshot,
+                          std::ostream& out) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pname = PrometheusMetricName(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = PrometheusMetricName(name);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << " ";
+    WriteDouble(out, value);
+    out << "\n";
+  }
+  for (const auto& [name, snap] : snapshot.histograms) {
+    RenderHistogram(out, PrometheusMetricName(name), snap);
+  }
+}
+
+std::string RenderPrometheusText(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  RenderPrometheusText(snapshot, out);
+  return out.str();
+}
+
+StatsServer::StatsServer(StatsServerOptions options) : options_(options) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+#ifdef PARAPLL_HAVE_SOCKETS
+
+void StatsServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("stats server: socket() failed");
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("stats server: cannot bind 127.0.0.1:" +
+                             std::to_string(options_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  start_ns_ = TraceNowNs();
+  running_.store(true, std::memory_order_release);
+  worker_ = std::thread([this] { Serve(); });
+}
+
+void StatsServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // The accept loop polls with a timeout and re-checks running_, so it
+  // exits within one poll interval; closing the fd afterwards is safe.
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void StatsServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) {
+      continue;  // timeout or EINTR: re-check running_
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      continue;
+    }
+    Handle(client);
+    ::close(client);
+  }
+}
+
+void StatsServer::Handle(int client_fd) {
+  // Read the request head (we only need the request line).
+  std::string request;
+  char buf[2048];
+  for (;;) {
+    pollfd pfd{client_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/500) <= 0) {
+      return;  // slow or dead client: drop it
+    }
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.find("\r\n") != std::string::npos ||
+        request.size() > 16 * 1024) {
+      break;
+    }
+  }
+  std::istringstream line(request.substr(0, request.find("\r\n")));
+  std::string method;
+  std::string path;
+  line >> method >> path;
+
+  std::string body;
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "only GET is supported\n";
+  } else if (path == "/metrics") {
+    ProbeRegistry::Global().Collect();
+    body = RenderPrometheusText(Registry::Global().Snapshot());
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/healthz" || path == "/") {
+    std::ostringstream out;
+    out << "ok\n";
+    out << "uptime_seconds "
+        << static_cast<double>(TraceNowNs() - start_ns_) / 1e9 << "\n";
+    if (options_.sampler != nullptr) {
+      out << "telemetry_samples " << options_.sampler->TotalSamples() << "\n";
+    }
+    body = out.str();
+  } else {
+    status = "404 Not Found";
+    body = "try /metrics or /healthz\n";
+  }
+
+  std::ostringstream response;
+  response << "HTTP/1.1 " << status << "\r\n"
+           << "Content-Type: " << content_type << "\r\n"
+           << "Content-Length: " << body.size() << "\r\n"
+           << "Connection: close\r\n\r\n"
+           << body;
+  const std::string& out = response.str();
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(client_fd, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+#else  // !PARAPLL_HAVE_SOCKETS
+
+void StatsServer::Start() {
+  throw std::runtime_error("stats server: no socket support on this platform");
+}
+void StatsServer::Stop() {}
+void StatsServer::Serve() {}
+void StatsServer::Handle(int) {}
+
+#endif  // PARAPLL_HAVE_SOCKETS
+
+}  // namespace parapll::obs

@@ -1,0 +1,79 @@
+// Prometheus text exposition + a minimal single-threaded HTTP endpoint.
+//
+//   GET /metrics  — Prometheus text format (version 0.0.4): counters and
+//                   gauges as-is, log2 histograms translated to cumulative
+//                   `_bucket{le=...}` series plus `_sum`/`_count`, and
+//                   interpolated `_p50/_p90/_p99` gauges per histogram.
+//   GET /healthz  — "ok" plus uptime and sample count, for humans and
+//                   load-balancer checks.
+//
+// The server owns one background thread that accepts and answers one
+// connection at a time — a scrape target, not a web server. Probes
+// (obs/telemetry.hpp) are collected before every /metrics render so
+// registered live state (label-store bytes, build progress) is fresh.
+//
+// Metric names are sanitized for Prometheus ([a-zA-Z0-9_:]) and prefixed
+// "parapll_": "query.batch.latency_ns" -> "parapll_query_batch_latency_ns".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace parapll::obs {
+
+class TelemetrySampler;
+
+// "query.batch.latency_ns" -> "parapll_query_batch_latency_ns".
+std::string PrometheusMetricName(std::string_view name);
+
+// Renders a registry snapshot as Prometheus text exposition.
+void RenderPrometheusText(const RegistrySnapshot& snapshot, std::ostream& out);
+[[nodiscard]] std::string RenderPrometheusText(
+    const RegistrySnapshot& snapshot);
+
+struct StatsServerOptions {
+  // 0 binds an ephemeral port; read the result back with Port().
+  std::uint16_t port = 0;
+  // Optional: /healthz reports this sampler's sample count.
+  const TelemetrySampler* sampler = nullptr;
+};
+
+// Minimal HTTP/1.1 endpoint bound to 127.0.0.1. Start() binds and spawns
+// the accept loop; Stop() (or destruction) shuts it down.
+class StatsServer {
+ public:
+  explicit StatsServer(StatsServerOptions options = {});
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  // Throws std::runtime_error when the socket cannot be created or bound.
+  void Start();
+  void Stop();  // idempotent
+
+  [[nodiscard]] bool Running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  // Bound port; valid after Start() (resolves port 0 to the real one).
+  [[nodiscard]] std::uint16_t Port() const { return port_; }
+
+ private:
+  void Serve();
+  void Handle(int client_fd);
+
+  StatsServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread worker_;
+};
+
+}  // namespace parapll::obs

@@ -203,6 +203,21 @@ void Registry::Reset() {
   }
 }
 
+RegistrySnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
 std::string Registry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;

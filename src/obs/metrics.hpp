@@ -125,6 +125,15 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+// Point-in-time merged view of every registered metric. This is the
+// input of both exporters: the Prometheus renderer (obs/expose.hpp) and
+// the telemetry sampler's JSONL stream (obs/telemetry.hpp).
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, HistogramSnapshot, std::less<>> histograms;
+};
+
 // Name -> metric map. Get*() registers on first use and returns a handle
 // that stays valid forever; lookups take a mutex, so hot paths must cache
 // the returned reference (function-local static), not re-look-up per
@@ -139,6 +148,10 @@ class Registry {
 
   // Zeroes every registered metric. Handles stay valid.
   void Reset();
+
+  // Merged point-in-time values of every registered metric. Like ToJson,
+  // values are exact once concurrent writers have quiesced.
+  [[nodiscard]] RegistrySnapshot Snapshot() const;
 
   // Flat JSON dump:
   //   {"counters":{name:value,...},

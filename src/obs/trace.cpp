@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -42,6 +44,8 @@ struct TraceSink::ThreadBuffer {
 struct TraceSink::Impl {
   mutable std::mutex registry_mutex;
   std::deque<ThreadBuffer> buffers;  // deque: stable addresses
+  std::atomic<std::size_t> max_events_per_thread{TraceSink::kDefaultMaxEvents};
+  std::atomic<std::uint64_t> dropped{0};
 };
 
 TraceSink::Impl* TraceSink::impl() {
@@ -71,9 +75,31 @@ TraceSink::ThreadBuffer& TraceSink::LocalBuffer() {
 }
 
 void TraceSink::Record(const TraceEvent& event) {
+  Impl* i = impl();
   ThreadBuffer& buffer = LocalBuffer();
+  const std::size_t cap =
+      i->max_events_per_thread.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (cap != 0 && buffer.events.size() >= cap) {
+    i->dropped.fetch_add(1, std::memory_order_relaxed);
+    static Counter& dropped_counter =
+        Registry::Global().GetCounter("trace.dropped_events");
+    dropped_counter.Add(1);
+    return;
+  }
   buffer.events.push_back(event);
+}
+
+void TraceSink::SetMaxEventsPerThread(std::size_t cap) {
+  impl()->max_events_per_thread.store(cap, std::memory_order_relaxed);
+}
+
+std::size_t TraceSink::MaxEventsPerThread() const {
+  return impl()->max_events_per_thread.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceSink::DroppedEvents() const {
+  return impl()->dropped.load(std::memory_order_relaxed);
 }
 
 std::size_t TraceSink::EventCount() const {
@@ -94,6 +120,7 @@ void TraceSink::Clear() {
     std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
     buffer.events.clear();
   }
+  i->dropped.store(0, std::memory_order_relaxed);
 }
 
 void TraceSink::WriteChromeJson(std::ostream& out) const {

@@ -45,12 +45,27 @@ class TraceSink {
   static TraceSink& Global();
 
   // Appends to the calling thread's buffer (registering it on first use).
+  // Once a buffer holds MaxEventsPerThread() events, further records on
+  // that thread are counted as dropped instead of growing the buffer, so
+  // a long traced run is bounded in memory.
   void Record(const TraceEvent& event);
 
   // Total buffered events across all threads.
   [[nodiscard]] std::size_t EventCount() const;
 
-  // Drops all buffered events (thread buffers stay registered).
+  // Per-thread buffer cap; 0 means unbounded. Applies to future Record()
+  // calls — it does not shrink buffers that already exceed the new cap.
+  void SetMaxEventsPerThread(std::size_t cap);
+  [[nodiscard]] std::size_t MaxEventsPerThread() const;
+  // Default cap: 1M events per thread (~40 MB) — see kDefaultMaxEvents.
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
+  // Events rejected by the cap since the last Clear(). Also mirrored into
+  // the metrics registry as the "trace.dropped_events" counter.
+  [[nodiscard]] std::uint64_t DroppedEvents() const;
+
+  // Drops all buffered events (thread buffers stay registered) and zeroes
+  // DroppedEvents().
   void Clear();
 
   // Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.

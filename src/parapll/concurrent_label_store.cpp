@@ -109,8 +109,14 @@ void ConcurrentLabelStore::Append(graph::VertexId v, graph::VertexId hub,
                                   graph::Distance dist) {
   PARAPLL_DCHECK(v < rows_.size());
   LockRow(v);
+  const std::size_t before = rows_[v].capacity();
   rows_[v].push_back(pll::LabelEntry{hub, dist});
+  const std::size_t after = rows_[v].capacity();
   UnlockRow(v);
+  if (after != before) {
+    entry_bytes_.fetch_add((after - before) * sizeof(pll::LabelEntry),
+                           std::memory_order_relaxed);
+  }
 }
 
 std::size_t ConcurrentLabelStore::TotalEntries() const {

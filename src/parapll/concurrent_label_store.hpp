@@ -47,6 +47,16 @@ class ConcurrentLabelStore {
 
   [[nodiscard]] std::size_t TotalEntries() const;
 
+  // Approximate resident bytes of the label rows (vector headers plus
+  // allocated entry capacity). Maintained as a relaxed atomic updated on
+  // row growth, so a telemetry probe can read it from another thread
+  // while workers append — the count may lag an in-flight append but is
+  // never torn. See obs/telemetry.hpp (gauge "store.memory_bytes").
+  [[nodiscard]] std::size_t MemoryBytes() const {
+    return rows_.capacity() * sizeof(std::vector<pll::LabelEntry>) +
+           entry_bytes_.load(std::memory_order_relaxed);
+  }
+
   // Moves the rows into an immutable query-stage store. Must only be
   // called after all workers have finished.
   pll::LabelStore TakeFinalized();
@@ -68,6 +78,7 @@ class ConcurrentLabelStore {
   mutable std::vector<std::atomic_flag> row_spinlocks_;
   obs::Counter* lock_acquired_;   // registry-owned; never null
   obs::Counter* lock_contended_;
+  std::atomic<std::size_t> entry_bytes_{0};  // allocated entry capacity
 };
 
 }  // namespace parapll::parallel

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parapll/concurrent_label_store.hpp"
 #include "pll/serial_pll.hpp"
@@ -64,6 +66,32 @@ ParallelBuildResult BuildParallel(const graph::Graph& g,
   // exactly the locked dequeue of the paper without the lock convoy.
   std::atomic<graph::VertexId> next_rank{0};
 
+  // Live build progress: roots-done / labels-added / ETA gauges updated
+  // once per finished root (a Pruned Dijkstra run dwarfs a gauge store),
+  // plus a telemetry probe over the concurrent store's byte count, so a
+  // running build is observable per sample instead of only post-hoc.
+  const bool metrics = obs::MetricsEnabled();
+  std::atomic<graph::VertexId> roots_done{0};
+  std::atomic<std::size_t> labels_added{0};
+  obs::Gauge* done_gauge = nullptr;
+  obs::Gauge* eta_gauge = nullptr;
+  obs::Gauge* labels_gauge = nullptr;
+  std::optional<obs::ScopedProbe> memory_probe;
+  if (metrics) {
+    auto& registry = obs::Registry::Global();
+    registry.GetGauge("indexer.progress.roots_total")
+        .Set(static_cast<double>(n));
+    done_gauge = &registry.GetGauge("indexer.progress.roots_done");
+    done_gauge->Set(0.0);
+    eta_gauge = &registry.GetGauge("indexer.progress.eta_seconds");
+    eta_gauge->Set(0.0);
+    labels_gauge = &registry.GetGauge("indexer.progress.labels_added");
+    labels_gauge->Set(0.0);
+    memory_probe.emplace("store.memory_bytes", [&labels] {
+      return static_cast<double>(labels.MemoryBytes());
+    });
+  }
+
   util::WallTimer wall;
   {
     std::vector<std::thread> workers;
@@ -86,6 +114,22 @@ ParallelBuildResult BuildParallel(const graph::Graph& g,
           }();
           pll::Accumulate(totals[t], stats);
           ++reports[t].roots_processed;
+          if (metrics) {
+            const auto done =
+                roots_done.fetch_add(1, std::memory_order_relaxed) + 1;
+            const auto added =
+                labels_added.fetch_add(stats.labels_added,
+                                       std::memory_order_relaxed) +
+                stats.labels_added;
+            done_gauge->Set(static_cast<double>(done));
+            labels_gauge->Set(static_cast<double>(added));
+            // ETA assumes remaining roots cost what finished ones did on
+            // average; races between workers just make the last writer
+            // win, which is fine for a progress gauge.
+            const double elapsed = wall.Seconds();
+            eta_gauge->Set(elapsed * static_cast<double>(n - done) /
+                           static_cast<double>(done));
+          }
           if (options.record_trace) {
             const std::size_t slot =
                 trace_cursor.fetch_add(1, std::memory_order_relaxed);
@@ -123,6 +167,15 @@ ParallelBuildResult BuildParallel(const graph::Graph& g,
   }
   result.threads = std::move(reports);
   result.trace = std::move(trace);
+  // Unregister the probe before TakeFinalized moves the rows out — a
+  // sampler tick must not read the store mid-move. The gauge keeps the
+  // final value.
+  if (metrics) {
+    obs::Registry::Global()
+        .GetGauge("store.memory_bytes")
+        .Set(static_cast<double>(labels.MemoryBytes()));
+  }
+  memory_probe.reset();
   result.store = labels.TakeFinalized();
   if (obs::MetricsEnabled()) {
     RecordBuildMetrics(result);

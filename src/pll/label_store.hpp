@@ -77,6 +77,38 @@ inline graph::Distance QuerySentinel(const LabelEntry* a,
   }
 }
 
+// QuerySentinel with bookkeeping for the slow-query log: counts the label
+// entries the merge consumed (cursor advances over real hubs) into
+// `scanned`. Kept separate so the uninstrumented hot path stays
+// branch-minimal.
+inline graph::Distance QuerySentinelCounted(const LabelEntry* a,
+                                            const LabelEntry* b,
+                                            std::uint64_t& scanned) {
+  graph::Distance best = graph::kInfiniteDistance;
+  for (;;) {
+    const graph::VertexId ha = a->hub;
+    const graph::VertexId hb = b->hub;
+    if (ha == hb) {
+      if (ha == graph::kInvalidVertex) {
+        return best;
+      }
+      const graph::Distance sum = graph::SaturatingAdd(a->dist, b->dist);
+      if (sum < best) {
+        best = sum;
+      }
+      ++a;
+      ++b;
+      scanned += 2;
+    } else if (ha < hb) {
+      ++a;
+      ++scanned;
+    } else {
+      ++b;
+      ++scanned;
+    }
+  }
+}
+
 // Growable per-vertex rows for serial indexing.
 class MutableLabels {
  public:

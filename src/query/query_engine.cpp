@@ -18,6 +18,13 @@ QueryEngine::QueryEngine(const pll::Index& index, QueryEngineOptions options)
   if (options_.threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
+  if (obs::MetricsEnabled()) {
+    // Serving-side memory accounting: the resident label bytes this
+    // engine answers from, next to the live process RSS in telemetry.
+    obs::Registry::Global()
+        .GetGauge("query.engine.index_memory_bytes")
+        .Set(static_cast<double>(index_.MemoryBytes()));
+  }
 }
 
 void QueryEngine::RunShard(std::span<const QueryPair> pairs,
@@ -48,6 +55,29 @@ void QueryEngine::RunShard(std::span<const QueryPair> pairs,
   }
 }
 
+void QueryEngine::RunShardLogged(std::span<const QueryPair> pairs,
+                                 std::span<graph::Distance> out) const {
+  const pll::LabelStore& store = index_.Store();
+  SlowQueryLog& log = *options_.slow_log;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto [s, t] = pairs[i];
+    const std::uint64_t start_ns = obs::TraceNowNs();
+    std::uint64_t scanned = 0;
+    graph::Distance d;
+    if (s == t) {
+      d = graph::Distance{0};
+    } else {
+      const auto a = store.RowBegin(index_.RankOf(s));
+      const auto b = store.RowBegin(index_.RankOf(t));
+      pll::PrefetchRow(a);
+      pll::PrefetchRow(b);
+      d = pll::QuerySentinelCounted(a, b, scanned);
+    }
+    out[i] = d;
+    log.Observe(s, t, d, scanned, obs::TraceNowNs() - start_ns);
+  }
+}
+
 void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
                              std::span<graph::Distance> out) {
   if (pairs.size() != out.size()) {
@@ -72,8 +102,11 @@ void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
           options_.min_pairs_per_shard);
   shards = std::max<std::size_t>(shards, 1);
 
+  // One pointer test selects the instrumented path; engines without a
+  // slow-query log keep the branch-minimal merge loop.
+  const bool logged = options_.slow_log != nullptr;
   if (shards == 1 || pool_ == nullptr) {
-    RunShard(pairs, out);
+    logged ? RunShardLogged(pairs, out) : RunShard(pairs, out);
   } else {
     const std::size_t chunk = (pairs.size() + shards - 1) / shards;
     for (std::size_t s = 0; s < shards; ++s) {
@@ -82,10 +115,12 @@ void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
       if (begin >= end) {
         break;
       }
-      pool_->Submit([this, metrics, shard_pairs = pairs.subspan(begin, end - begin),
+      pool_->Submit([this, metrics, logged,
+                     shard_pairs = pairs.subspan(begin, end - begin),
                      shard_out = out.subspan(begin, end - begin)](std::size_t) {
         const std::uint64_t shard_start = metrics ? obs::TraceNowNs() : 0;
-        RunShard(shard_pairs, shard_out);
+        logged ? RunShardLogged(shard_pairs, shard_out)
+               : RunShard(shard_pairs, shard_out);
         if (metrics) {
           static obs::Histogram& shard_ns =
               obs::Registry::Global().GetHistogram("query.batch.shard_ns");

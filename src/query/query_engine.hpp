@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "pll/index.hpp"
+#include "query/slow_query_log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace parapll::query {
@@ -35,6 +36,10 @@ struct QueryEngineOptions {
   // A shard smaller than this is not worth a pool hand-off; small batches
   // therefore run inline even on a multi-threaded engine.
   std::size_t min_pairs_per_shard = 256;
+  // When non-null, every answered pair is timed and offered to this log
+  // (threshold + 1-in-N sampling; see slow_query_log.hpp). The log must
+  // outlive the engine. Null keeps the uninstrumented merge loop.
+  SlowQueryLog* slow_log = nullptr;
 };
 
 class QueryEngine {
@@ -62,6 +67,10 @@ class QueryEngine {
   // Answers one contiguous shard (already validated).
   void RunShard(std::span<const QueryPair> pairs,
                 std::span<graph::Distance> out) const;
+  // Same answers, but each pair is timed and scanned-entry-counted for
+  // the attached slow-query log.
+  void RunShardLogged(std::span<const QueryPair> pairs,
+                      std::span<graph::Distance> out) const;
 
   const pll::Index& index_;
   QueryEngineOptions options_;

@@ -1,0 +1,72 @@
+#include "query/slow_query_log.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace parapll::query {
+
+SlowQueryLog::SlowQueryLog(const std::string& path,
+                           SlowQueryLogOptions options)
+    : options_(options), file_(std::make_unique<std::ofstream>(path)) {
+  if (!*file_) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  out_ = file_.get();
+}
+
+SlowQueryLog::SlowQueryLog(std::ostream& out, SlowQueryLogOptions options)
+    : options_(options), out_(&out) {}
+
+void SlowQueryLog::Observe(graph::VertexId s, graph::VertexId t,
+                           graph::Distance distance,
+                           std::uint64_t entries_scanned,
+                           std::uint64_t latency_ns) {
+  const std::uint64_t n = observed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool slow = latency_ns >= options_.threshold_ns;
+  const bool sampled =
+      options_.sample_every != 0 && n % options_.sample_every == 0;
+  if (!slow && !sampled) {
+    return;
+  }
+  Write(s, t, distance, entries_scanned, latency_ns,
+        slow ? "slow" : "sampled");
+}
+
+void SlowQueryLog::Write(graph::VertexId s, graph::VertexId t,
+                         graph::Distance distance,
+                         std::uint64_t entries_scanned,
+                         std::uint64_t latency_ns, const char* reason) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  util::JsonWriter w(*out_);
+  w.BeginObject();
+  w.Key("mono_ns").Value(obs::TraceNowNs());
+  w.Key("s").Value(std::uint64_t{s});
+  w.Key("t").Value(std::uint64_t{t});
+  if (distance == graph::kInfiniteDistance) {
+    w.Key("distance").Raw("null");
+  } else {
+    w.Key("distance").Value(std::uint64_t{distance});
+  }
+  w.Key("entries_scanned").Value(entries_scanned);
+  w.Key("latency_ns").Value(latency_ns);
+  w.Key("reason").Value(reason);
+  w.EndObject();
+  *out_ << '\n';
+  out_->flush();
+  records_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& records =
+        obs::Registry::Global().GetCounter("query.slow.records");
+    records.Add(1);
+  }
+}
+
+void SlowQueryLog::Flush() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  out_->flush();
+}
+
+}  // namespace parapll::query

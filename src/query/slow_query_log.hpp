@@ -1,0 +1,80 @@
+// Structured slow-query log for the serving path.
+//
+// Attached to a QueryEngine (QueryEngineOptions::slow_log), it receives
+// one Observe() per answered pair on the engine's instrumented shard path
+// and writes a JSON line for every query that crossed the latency
+// threshold — plus, optionally, an unbiased 1-in-N sample of everything
+// else, so the log shows what "normal" looked like next to the outliers.
+//
+// Record schema (one JSON object per line; see EXPERIMENTS.md):
+//   {"mono_ns":..,"s":..,"t":..,"distance":..,  // null when unreachable
+//    "entries_scanned":..,"latency_ns":..,"reason":"slow"|"sampled"}
+//
+// Overhead: engines without an attached log keep their uninstrumented
+// merge loop (a single pointer test per batch selects the path); Observe
+// itself takes a mutex only for records it actually writes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace parapll::query {
+
+struct SlowQueryLogOptions {
+  // A query at or above this latency is always recorded.
+  std::uint64_t threshold_ns = 1'000'000;  // 1 ms
+  // Additionally record every Nth observed query regardless of latency;
+  // 0 disables sampling.
+  std::uint64_t sample_every = 0;
+};
+
+class SlowQueryLog {
+ public:
+  // Opens `path` for writing; throws std::runtime_error on failure.
+  SlowQueryLog(const std::string& path, SlowQueryLogOptions options);
+  // Writes to a caller-owned stream (tests); the stream must outlive the
+  // log.
+  SlowQueryLog(std::ostream& out, SlowQueryLogOptions options);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  [[nodiscard]] const SlowQueryLogOptions& Options() const {
+    return options_;
+  }
+
+  // Called per answered query (original vertex ids). Thread-safe.
+  void Observe(graph::VertexId s, graph::VertexId t, graph::Distance distance,
+               std::uint64_t entries_scanned, std::uint64_t latency_ns);
+
+  // Queries seen / records written so far.
+  [[nodiscard]] std::uint64_t Observed() const {
+    return observed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Records() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+  void Flush();
+
+ private:
+  void Write(graph::VertexId s, graph::VertexId t, graph::Distance distance,
+             std::uint64_t entries_scanned, std::uint64_t latency_ns,
+             const char* reason);
+
+  SlowQueryLogOptions options_;
+  std::unique_ptr<std::ofstream> file_;  // set by the path constructor
+  std::ostream* out_;                    // always valid
+  std::mutex write_mutex_;
+  std::atomic<std::uint64_t> observed_{0};
+  std::atomic<std::uint64_t> records_{0};
+};
+
+}  // namespace parapll::query

@@ -46,6 +46,16 @@ class TimestampedLabels {
 
   [[nodiscard]] std::size_t TotalEntries() const;
 
+  // Approximate resident bytes of the rows (headers + entry capacity).
+  // Only safe from the owning node's thread — rows are not synchronized.
+  [[nodiscard]] std::size_t MemoryBytes() const {
+    std::size_t total = rows_.capacity() * sizeof(std::vector<Entry>);
+    for (const auto& row : rows_) {
+      total += row.capacity() * sizeof(Entry);
+    }
+    return total;
+  }
+
   // Drops stamps and produces the sorted immutable query store.
   [[nodiscard]] pll::LabelStore Finalize() const;
 

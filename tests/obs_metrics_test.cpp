@@ -103,6 +103,72 @@ TEST(HistogramTest, QuantilesAreOrderedAndBounded) {
   EXPECT_DOUBLE_EQ(snap.Mean(), 500.5);
 }
 
+// Bucket index of a value under the log2 scheme: 0 for 0, else
+// floor(log2(v)) + 1 — the same mapping Histogram::Record uses.
+int Log2Bucket(std::uint64_t v) {
+  if (v == 0) {
+    return 0;
+  }
+  int b = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+TEST(HistogramTest, QuantileMatchesExactPercentileBucket) {
+  Histogram histogram;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    histogram.Record(v);
+    values.push_back(v);
+  }
+  const HistogramSnapshot snap = histogram.Snapshot();
+  // A log2 estimator cannot recover the exact percentile, but it must
+  // land in the same power-of-two bucket as the true value — that is the
+  // accuracy contract the Prometheus exporter and telemetry rely on.
+  for (const double q : {0.10, 0.25, 0.50, 0.90, 0.99}) {
+    const auto exact_index =
+        static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+    const std::uint64_t exact = values[exact_index];
+    const double estimate = snap.Quantile(q);
+    EXPECT_GE(estimate, 1.0) << "q=" << q;
+    EXPECT_LE(estimate, 1000.0) << "q=" << q;
+    EXPECT_EQ(Log2Bucket(static_cast<std::uint64_t>(estimate)),
+              Log2Bucket(exact))
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST(HistogramTest, QuantileSingleValueIsExact) {
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) {
+    histogram.Record(37);
+  }
+  const HistogramSnapshot snap = histogram.Snapshot();
+  // With one distinct value, min==max clamps interpolation to the value.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.01), 37.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.50), 37.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 37.0);
+}
+
+TEST(HistogramTest, QuantileTwoPointDistribution) {
+  Histogram histogram;
+  for (int i = 0; i < 50; ++i) {
+    histogram.Record(1);
+  }
+  for (int i = 0; i < 50; ++i) {
+    histogram.Record(1024);
+  }
+  const HistogramSnapshot snap = histogram.Snapshot();
+  // p25 falls entirely inside the low spike, p75 inside the high one.
+  EXPECT_EQ(Log2Bucket(static_cast<std::uint64_t>(snap.Quantile(0.25))),
+            Log2Bucket(1));
+  EXPECT_EQ(Log2Bucket(static_cast<std::uint64_t>(snap.Quantile(0.75))),
+            Log2Bucket(1024));
+}
+
 TEST(HistogramTest, EmptySnapshot) {
   Histogram histogram;
   const HistogramSnapshot snap = histogram.Snapshot();
@@ -166,6 +232,26 @@ TEST(RegistryTest, ToJsonContainsRegisteredMetrics) {
   EXPECT_NE(json.find("\"sum\":17"), std::string::npos) << json;
   // Both samples land in the [8, 16) bucket.
   EXPECT_NE(json.find("[8,2]"), std::string::npos) << json;
+}
+
+TEST(RegistryTest, SnapshotCapturesAllMetricKinds) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test.snap.counter").Reset();
+  registry.GetCounter("test.snap.counter").Add(7);
+  registry.GetGauge("test.snap.gauge").Set(3.25);
+  Histogram& histogram = registry.GetHistogram("test.snap.histogram");
+  histogram.Reset();
+  histogram.Record(5);
+  histogram.Record(6);
+
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_TRUE(snap.counters.count("test.snap.counter"));
+  EXPECT_EQ(snap.counters.at("test.snap.counter"), 7u);
+  ASSERT_TRUE(snap.gauges.count("test.snap.gauge"));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.snap.gauge"), 3.25);
+  ASSERT_TRUE(snap.histograms.count("test.snap.histogram"));
+  EXPECT_EQ(snap.histograms.at("test.snap.histogram").count, 2u);
+  EXPECT_EQ(snap.histograms.at("test.snap.histogram").sum, 11u);
 }
 
 TEST(JsonWriterTest, EscapesAndNests) {

@@ -143,5 +143,28 @@ TEST(TraceSinkTest, ClearDropsEvents) {
   EXPECT_EQ(TraceSink::Global().EventCount(), 0u);
 }
 
+TEST(TraceSinkTest, BufferCapDropsExcessAndCounts) {
+  ScopedTracing tracing;
+  TraceSink& sink = TraceSink::Global();
+  const std::size_t saved_cap = sink.MaxEventsPerThread();
+  sink.SetMaxEventsPerThread(10);
+  for (int i = 0; i < 25; ++i) {
+    PARAPLL_SPAN("capped");
+  }
+  EXPECT_EQ(sink.EventCount(), 10u);
+  EXPECT_EQ(sink.DroppedEvents(), 15u);
+  // Clear() frees the buffers and zeroes the drop count, so a fresh
+  // capture window starts from a clean slate.
+  sink.Clear();
+  EXPECT_EQ(sink.EventCount(), 0u);
+  EXPECT_EQ(sink.DroppedEvents(), 0u);
+  {
+    PARAPLL_SPAN("after_clear");
+  }
+  EXPECT_EQ(sink.EventCount(), 1u);
+  EXPECT_EQ(sink.DroppedEvents(), 0u);
+  sink.SetMaxEventsPerThread(saved_cap);
+}
+
 }  // namespace
 }  // namespace parapll::obs

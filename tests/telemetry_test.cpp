@@ -1,0 +1,340 @@
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/expose.hpp"
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define PARAPLL_TEST_HAVE_SOCKETS 1
+#endif
+
+namespace parapll::obs {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(ProcessStatsTest, ReadsLiveProcess) {
+  const ProcessStats stats = ReadProcessStats();
+#if defined(__linux__)
+  ASSERT_TRUE(stats.valid);
+  // A running gtest binary has resident memory and at least one thread.
+  EXPECT_GT(stats.rss_bytes, 0u);
+  EXPECT_GE(stats.peak_rss_bytes, stats.rss_bytes);
+  EXPECT_GE(stats.threads, 1u);
+  EXPECT_GE(stats.user_cpu_seconds, 0.0);
+  EXPECT_GE(stats.sys_cpu_seconds, 0.0);
+#else
+  (void)stats;  // non-procfs platforms return valid=false; nothing to check
+#endif
+}
+
+TEST(ProbeRegistryTest, CollectRunsProbesIntoGauges) {
+  Registry::Global().GetGauge("test.probe.value").Set(0.0);
+  const std::size_t before = ProbeRegistry::Global().Size();
+  {
+    double source = 41.0;
+    ScopedProbe probe("test.probe.value", [&source] { return source; });
+    EXPECT_EQ(ProbeRegistry::Global().Size(), before + 1);
+    source = 42.0;
+    ProbeRegistry::Global().Collect();
+    EXPECT_DOUBLE_EQ(Registry::Global().GetGauge("test.probe.value").Value(),
+                     42.0);
+  }
+  // ScopedProbe unregistered on scope exit; Collect no longer touches it.
+  EXPECT_EQ(ProbeRegistry::Global().Size(), before);
+  Registry::Global().GetGauge("test.probe.value").Set(-1.0);
+  ProbeRegistry::Global().Collect();
+  EXPECT_DOUBLE_EQ(Registry::Global().GetGauge("test.probe.value").Value(),
+                   -1.0);
+}
+
+TEST(TelemetrySamplerTest, PeriodicSamplingProducesMultipleSamples) {
+  Registry::Global().GetCounter("test.telemetry.counter").Reset();
+  Registry::Global().GetCounter("test.telemetry.counter").Add(5);
+  TelemetryOptions options;
+  options.period = std::chrono::milliseconds(10);
+  TelemetrySampler sampler(options);
+  sampler.Start();
+  EXPECT_TRUE(sampler.Running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  sampler.Stop();
+  EXPECT_FALSE(sampler.Running());
+
+  // ≥2 periodic samples even on a loaded 1-core machine (80ms / 10ms
+  // period leaves lots of slack), plus the final Stop() sample.
+  EXPECT_GE(sampler.TotalSamples(), 2u);
+  const std::vector<TelemetrySample> samples = sampler.Samples();
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].seq, samples[i - 1].seq + 1);
+    EXPECT_GE(samples[i].mono_ns, samples[i - 1].mono_ns);
+  }
+  const TelemetrySample& last = samples.back();
+  ASSERT_TRUE(last.registry.counters.count("test.telemetry.counter"));
+  EXPECT_EQ(last.registry.counters.at("test.telemetry.counter"), 5u);
+#if defined(__linux__)
+  EXPECT_TRUE(last.process.valid);
+  EXPECT_GT(last.process.rss_bytes, 0u);
+#endif
+}
+
+TEST(TelemetrySamplerTest, RingBufferEvictsOldestButCountsAll) {
+  TelemetryOptions options;
+  options.period = std::chrono::hours(1);  // never fires on its own
+  options.ring_capacity = 4;
+  TelemetrySampler sampler(options);
+  for (int i = 0; i < 10; ++i) {
+    sampler.SampleNow();
+  }
+  EXPECT_EQ(sampler.TotalSamples(), 10u);
+  const std::vector<TelemetrySample> samples = sampler.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Oldest first, and the evicted prefix (seq 0..5) is gone.
+  EXPECT_EQ(samples.front().seq, 6u);
+  EXPECT_EQ(samples.back().seq, 9u);
+}
+
+TEST(TelemetrySamplerTest, JsonlFileGetsOneLinePerSample) {
+  const std::string path = TempPath("telemetry_test_samples.jsonl");
+  std::remove(path.c_str());
+  Registry::Global().GetCounter("test.telemetry.jsonl").Reset();
+  Registry::Global().GetCounter("test.telemetry.jsonl").Add(3);
+  {
+    TelemetryOptions options;
+    options.period = std::chrono::milliseconds(10);
+    options.jsonl_path = path;
+    TelemetrySampler sampler(options);
+    sampler.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    sampler.Stop();
+    const std::vector<std::string> lines = ReadLines(path);
+    EXPECT_EQ(lines.size(), sampler.TotalSamples());
+    ASSERT_GE(lines.size(), 2u);
+    for (const std::string& line : lines) {
+      EXPECT_EQ(line.front(), '{');
+      EXPECT_EQ(line.back(), '}');
+      EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+      EXPECT_NE(line.find("\"rss_bytes\":"), std::string::npos);
+      EXPECT_NE(line.find("\"user_cpu_seconds\":"), std::string::npos);
+      EXPECT_NE(line.find("\"test.telemetry.jsonl\":3"), std::string::npos);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySamplerTest, StartThrowsOnUnwritablePath) {
+  TelemetryOptions options;
+  options.jsonl_path = "/nonexistent-dir-parapll/telemetry.jsonl";
+  TelemetrySampler sampler(options);
+  EXPECT_THROW(sampler.Start(), std::runtime_error);
+  EXPECT_FALSE(sampler.Running());
+}
+
+TEST(WriteJsonLineTest, CompactsHistograms) {
+  TelemetrySample sample;
+  sample.seq = 3;
+  sample.mono_ns = 123;
+  HistogramSnapshot snap;
+  snap.count = 2;
+  snap.sum = 12;
+  snap.min = 4;
+  snap.max = 8;
+  snap.buckets[3] = 1;  // 4 -> [4, 8)
+  snap.buckets[4] = 1;  // 8 -> [8, 16)
+  sample.registry.histograms.emplace("test.h", snap);
+  std::ostringstream out;
+  TelemetrySampler::WriteJsonLine(sample, out);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"test.h\":{\"count\":2,\"sum\":12,\"mean\":6"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(line.find("\"max\":8"), std::string::npos);
+}
+
+// --- Prometheus exposition ----------------------------------------------
+
+TEST(PrometheusTest, SanitizesNames) {
+  EXPECT_EQ(PrometheusMetricName("query.batch.latency_ns"),
+            "parapll_query_batch_latency_ns");
+  EXPECT_EQ(PrometheusMetricName("indexer.thread.3.busy_seconds"),
+            "parapll_indexer_thread_3_busy_seconds");
+  EXPECT_EQ(PrometheusMetricName("weird-name!x"), "parapll_weird_name_x");
+}
+
+TEST(PrometheusTest, RendersCountersGaugesAndCumulativeBuckets) {
+  RegistrySnapshot snapshot;
+  snapshot.counters["test.prom.counter"] = 42;
+  snapshot.gauges["test.prom.gauge"] = 1.5;
+  HistogramSnapshot h;
+  h.count = 4;
+  h.sum = 1 + 3 + 8 + 9;
+  h.min = 1;
+  h.max = 9;
+  h.buckets[1] = 1;  // 1   -> [1, 2)
+  h.buckets[2] = 1;  // 3   -> [2, 4)
+  h.buckets[4] = 2;  // 8,9 -> [8, 16)
+  snapshot.histograms.emplace("test.prom.hist", h);
+
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE parapll_test_prom_counter counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("parapll_test_prom_counter 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE parapll_test_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("parapll_test_prom_gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE parapll_test_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("parapll_test_prom_hist_sum 21"), std::string::npos);
+  EXPECT_NE(text.find("parapll_test_prom_hist_count 4"), std::string::npos);
+  EXPECT_NE(text.find("parapll_test_prom_hist_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("parapll_test_prom_hist_p50"), std::string::npos);
+
+  // Bucket series must be cumulative and non-decreasing, ending at count.
+  std::vector<std::uint64_t> cumulative;
+  std::size_t pos = 0;
+  const std::string needle = "parapll_test_prom_hist_bucket{le=\"";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    const std::size_t space = text.find("} ", pos);
+    ASSERT_NE(space, std::string::npos);
+    cumulative.push_back(std::stoull(text.substr(space + 2)));
+    pos = space;
+  }
+  ASSERT_GE(cumulative.size(), 2u);
+  for (std::size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]) << "bucket " << i;
+  }
+  EXPECT_EQ(cumulative.back(), 4u);  // le="+Inf" equals _count
+}
+
+#ifdef PARAPLL_TEST_HAVE_SOCKETS
+
+// Raw-socket HTTP GET against 127.0.0.1:port; returns the full response.
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n"
+      "Connection: close\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(StatsServerTest, ServesMetricsAndHealthz) {
+  Registry::Global().GetCounter("test.http.counter").Reset();
+  Registry::Global().GetCounter("test.http.counter").Add(11);
+  Histogram& histogram = Registry::Global().GetHistogram("test.http.hist");
+  histogram.Reset();
+  histogram.Record(2);
+  histogram.Record(100);
+
+  StatsServer server(StatsServerOptions{.port = 0, .sampler = nullptr});
+  server.Start();
+  ASSERT_TRUE(server.Running());
+  ASSERT_GT(server.Port(), 0);
+
+  const std::string metrics = HttpGet(server.Port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("parapll_test_http_counter 11"), std::string::npos);
+  EXPECT_NE(metrics.find("parapll_test_http_hist_count 2"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("parapll_test_http_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+
+  const std::string health = HttpGet(server.Port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string missing = HttpGet(server.Port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos) << missing;
+
+  server.Stop();
+  EXPECT_FALSE(server.Running());
+}
+
+TEST(StatsServerTest, MetricsScrapeCollectsProbes) {
+  Registry::Global().GetGauge("test.http.probe").Set(0.0);
+  ScopedProbe probe("test.http.probe", [] { return 99.0; });
+  StatsServer server;
+  server.Start();
+  const std::string metrics = HttpGet(server.Port(), "/metrics");
+  EXPECT_NE(metrics.find("parapll_test_http_probe 99"), std::string::npos)
+      << metrics;
+  server.Stop();
+}
+
+#endif  // PARAPLL_TEST_HAVE_SOCKETS
+
+TEST(SignalFlushTest, CallbacksRunAndUnregister) {
+  int fired = 0;
+  const std::uint64_t id = AddSignalFlush([&fired] { ++fired; });
+  internal::RunSignalFlushCallbacksForTest();
+  EXPECT_EQ(fired, 1);
+  RemoveSignalFlush(id);
+  internal::RunSignalFlushCallbacksForTest();
+  EXPECT_EQ(fired, 1);  // removed: does not fire again
+  {
+    ScopedSignalFlush scoped([&fired] { fired += 10; });
+    internal::RunSignalFlushCallbacksForTest();
+    EXPECT_EQ(fired, 11);
+  }
+  internal::RunSignalFlushCallbacksForTest();
+  EXPECT_EQ(fired, 11);  // scoped hook gone after scope exit
+}
+
+}  // namespace
+}  // namespace parapll::obs

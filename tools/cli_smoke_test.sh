@@ -26,4 +26,23 @@ printf '1 2\n3 4\n' | "$CLI" query --index "$WORK/g.zindex" --compact \
 "$CLI" verify --index "$WORK/g.zindex" --compact --graph "$WORK/g.txt" \
   --pairs 400
 
+# Telemetry: a fast-sampling build must leave >= 2 JSONL samples carrying
+# process stats and the registry (the periodic loop plus the final one).
+# Larger graph so the build outlasts a few 1ms sampling periods.
+"$CLI" generate --dataset Gnutella --scale 0.2 --seed 7 --out "$WORK/big.txt"
+"$CLI" build --graph "$WORK/big.txt" --mode parallel --threads 2 \
+  --out "$WORK/g2.index" \
+  --telemetry-jsonl "$WORK/telemetry.jsonl" --telemetry-period-ms 1
+[ "$(wc -l < "$WORK/telemetry.jsonl")" -ge 2 ]
+grep -q '"rss_bytes":' "$WORK/telemetry.jsonl"
+grep -q '"counters":' "$WORK/telemetry.jsonl"
+grep -q '"store.memory_bytes":' "$WORK/telemetry.jsonl"
+
+# Slow-query log: threshold 0 forces a record per query.
+"$CLI" query-bench --index "$WORK/g.index" --pairs 200 --threads 2 \
+  --slow-query-log "$WORK/slow.jsonl" --slow-query-threshold-us 0
+[ "$(wc -l < "$WORK/slow.jsonl")" -eq 200 ]
+grep -q '"reason":"slow"' "$WORK/slow.jsonl"
+grep -q '"latency_ns":' "$WORK/slow.jsonl"
+
 echo "cli smoke test: OK"

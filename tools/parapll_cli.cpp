@@ -12,10 +12,13 @@
 //
 // Exit code 0 on success; 1 on usage errors or failed verification.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,7 +45,15 @@ int Usage() {
       "observability (any command):\n"
       "  --metrics-json FILE   write a metrics snapshot (counters, gauges,\n"
       "                        histograms) as JSON on exit\n"
-      "  --trace FILE          write a chrome://tracing / Perfetto trace\n",
+      "  --trace FILE          write a chrome://tracing / Perfetto trace\n"
+      "  --telemetry-jsonl FILE  stream periodic samples (registry + RSS/\n"
+      "                        CPU/threads) as JSON lines while running\n"
+      "  --telemetry-period-ms N  sampling period (default 100)\n"
+      "  --stats-port N        serve Prometheus /metrics and /healthz on\n"
+      "                        127.0.0.1:N (0 = ephemeral, printed)\n"
+      "  --slow-query-log FILE   query-bench: JSONL of slow queries\n"
+      "  --slow-query-threshold-us N   latency threshold (default 1000)\n"
+      "  --slow-query-sample N   also record every Nth query (0 = off)\n",
       stderr);
   return 1;
 }
@@ -236,7 +247,20 @@ int CmdQueryBench(util::ArgParser& args) {
   const auto threads = static_cast<std::size_t>(args.GetInt("threads"));
   const auto batch =
       std::max<std::size_t>(static_cast<std::size_t>(args.GetInt("batch")), 1);
-  query::QueryEngine engine(index, {.threads = threads});
+  std::unique_ptr<query::SlowQueryLog> slow_log;
+  const std::string slow_path = args.GetString("slow-query-log");
+  if (!slow_path.empty()) {
+    query::SlowQueryLogOptions slow_options;
+    slow_options.threshold_ns =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            args.GetInt("slow-query-threshold-us"), 0)) *
+        1000;
+    slow_options.sample_every = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(args.GetInt("slow-query-sample"), 0));
+    slow_log = std::make_unique<query::SlowQueryLog>(slow_path, slow_options);
+  }
+  query::QueryEngine engine(index,
+                            {.threads = threads, .slow_log = slow_log.get()});
   std::vector<graph::Distance> got(pairs.size());
   util::WallTimer batched;
   for (std::size_t begin = 0; begin < pairs.size(); begin += batch) {
@@ -265,6 +289,13 @@ int CmdQueryBench(util::ArgParser& args) {
               batched_qps / 1e6, threads, batch);
   std::printf("speedup:    %.2fx; all distances matched per-call Query\n",
               batched_qps / per_call_qps);
+  if (slow_log != nullptr) {
+    slow_log->Flush();
+    std::printf("slow-query log: %llu of %llu queries -> %s\n",
+                static_cast<unsigned long long>(slow_log->Records()),
+                static_cast<unsigned long long>(slow_log->Observed()),
+                slow_path.c_str());
+  }
   return 0;
 }
 
@@ -294,19 +325,70 @@ int main(int argc, char** argv) {
       .Flag("s", "-1", "query source vertex")
       .Flag("t", "-1", "query target vertex")
       .Flag("metrics-json", "", "write metrics snapshot JSON (any command)")
-      .Flag("trace", "", "write Chrome-trace JSON (any command)");
+      .Flag("trace", "", "write Chrome-trace JSON (any command)")
+      .Flag("telemetry-jsonl", "", "stream periodic telemetry JSON lines")
+      .Flag("telemetry-period-ms", "100", "telemetry sampling period")
+      .Flag("stats-port", "-1",
+            "serve /metrics + /healthz on 127.0.0.1:N (0 = ephemeral)")
+      .Flag("slow-query-log", "", "slow-query JSONL (query-bench)")
+      .Flag("slow-query-threshold-us", "1000", "slow-query latency threshold")
+      .Flag("slow-query-sample", "0", "also record every Nth query (0 = off)");
   if (!args.Parse(argc - 1, argv + 1)) {
     return 1;
   }
   const std::string metrics_path = args.GetString("metrics-json");
   const std::string trace_path = args.GetString("trace");
-  obs::SetMetricsEnabled(!metrics_path.empty());
+  const std::string telemetry_path = args.GetString("telemetry-jsonl");
+  const std::int64_t stats_port = args.GetInt("stats-port");
+  const bool telemetry_on = !telemetry_path.empty() || stats_port >= 0;
+  obs::SetMetricsEnabled(!metrics_path.empty() || telemetry_on ||
+                         !args.GetString("slow-query-log").empty());
   obs::SetTracingEnabled(!trace_path.empty());
+
+  std::optional<obs::TelemetrySampler> sampler;
+  std::optional<obs::StatsServer> server;
+  try {
+    if (telemetry_on) {
+      obs::TelemetryOptions telemetry_options;
+      telemetry_options.period = std::chrono::milliseconds(
+          std::max<std::int64_t>(args.GetInt("telemetry-period-ms"), 1));
+      telemetry_options.jsonl_path = telemetry_path;
+      sampler.emplace(telemetry_options);
+      sampler->Start();
+    }
+    if (stats_port >= 0) {
+      server.emplace(obs::StatsServerOptions{
+          .port = static_cast<std::uint16_t>(stats_port),
+          .sampler = sampler ? &*sampler : nullptr});
+      server->Start();
+      std::fprintf(stderr, "stats endpoint: http://127.0.0.1:%u/metrics\n",
+                   server->Port());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
   // Writes whatever was collected even when the command fails partway —
   // a truncated run's metrics are exactly what you want when debugging.
-  // Must not throw: it runs on the error path too.
+  // Must not throw: it runs on the error path too (and, via the signal
+  // hook below, when a long run is interrupted with SIGINT/SIGTERM).
   auto flush_obs = [&]() -> bool {
     bool ok = true;
+    if (sampler) {
+      try {
+        sampler->Stop();  // takes a final sample and flushes the JSONL
+        if (!telemetry_path.empty()) {
+          std::fprintf(stderr, "telemetry (%llu samples) -> %s\n",
+                       static_cast<unsigned long long>(
+                           sampler->TotalSamples()),
+                       telemetry_path.c_str());
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        ok = false;
+      }
+    }
     if (!metrics_path.empty()) {
       try {
         obs::WriteMetricsJsonFile(metrics_path);
@@ -329,6 +411,8 @@ int main(int argc, char** argv) {
     }
     return ok;
   };
+  // ^C on a long build still writes metrics/telemetry before exiting.
+  obs::ScopedSignalFlush signal_flush([&flush_obs] { flush_obs(); });
   try {
     int code = 1;
     if (command == "generate") {
