@@ -1,0 +1,121 @@
+#include "build/checkpoint.hpp"
+
+#include <ctime>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "build/artifact.hpp"
+#include "obs/metrics.hpp"
+#include "pll/index.hpp"
+#include "util/timer.hpp"
+
+namespace parapll::build {
+
+namespace {
+
+// Live checkpointers, for the signal-flush path. A build registers at
+// most one; the vector form keeps nested builds (tests) correct.
+std::mutex g_active_mutex;
+std::vector<Checkpointer*> g_active;
+
+}  // namespace
+
+Checkpointer::Checkpointer(CheckpointOptions options,
+                           pll::BuildManifest manifest,
+                           std::vector<graph::VertexId> order,
+                           SnapshotRowsFn rows)
+    : options_(std::move(options)),
+      manifest_(std::move(manifest)),
+      order_(std::move(order)),
+      rows_(std::move(rows)),
+      frontier_(static_cast<graph::VertexId>(manifest_.roots_completed)),
+      seed_totals_(manifest_.totals),
+      seed_wall_seconds_(manifest_.wall_seconds) {
+  // Fail at construction, not mid-build, if the directory can't exist.
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    throw std::runtime_error("error: cannot create checkpoint directory " +
+                             options_.dir + ": " + ec.message());
+  }
+  std::lock_guard<std::mutex> lock(g_active_mutex);
+  g_active.push_back(this);
+}
+
+Checkpointer::~Checkpointer() {
+  std::lock_guard<std::mutex> lock(g_active_mutex);
+  std::erase(g_active, this);
+}
+
+std::string Checkpointer::FilePath() const {
+  return options_.dir + "/checkpoint.bin";
+}
+
+std::size_t Checkpointer::SnapshotsWritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_;
+}
+
+graph::VertexId Checkpointer::LastFrontier() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frontier_;
+}
+
+void Checkpointer::OnRootFinished(graph::VertexId frontier,
+                                  const pll::PruneStats& stats,
+                                  double wall_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frontier_ = frontier;
+  totals_ += stats;
+  wall_seconds_ = wall_seconds;
+  ++finished_since_snapshot_;
+  if (options_.every > 0 && finished_since_snapshot_ >= options_.every) {
+    SnapshotLocked();
+    finished_since_snapshot_ = 0;
+  }
+}
+
+void Checkpointer::Snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SnapshotLocked();
+  finished_since_snapshot_ = 0;
+}
+
+void Checkpointer::SnapshotLocked() {
+  util::WallTimer write_timer;
+  pll::BuildManifest manifest = manifest_;
+  manifest.roots_completed = frontier_;
+  manifest.totals = seed_totals_;
+  manifest.totals += totals_;  // work *expended*, rerun roots included
+  manifest.wall_seconds = seed_wall_seconds_ + wall_seconds_;
+  manifest.created_unix =
+      static_cast<std::uint64_t>(std::time(nullptr));
+
+  pll::Index index(pll::LabelStore::FromRows(rows_(frontier_)), order_);
+  index.SetManifest(std::move(manifest));
+  IndexArtifact{std::move(index)}.Save(FilePath());
+  ++snapshots_;
+
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::Registry::Global();
+    registry.GetCounter("build.checkpoint.snapshots").Add(1);
+    registry.GetGauge("build.checkpoint.last_roots")
+        .Set(static_cast<double>(frontier_));
+    registry.GetHistogram("build.checkpoint.write_ns")
+        .Record(static_cast<std::uint64_t>(write_timer.Seconds() * 1e9));
+  }
+}
+
+void SnapshotActiveBuilds() {
+  std::vector<Checkpointer*> active;
+  {
+    std::lock_guard<std::mutex> lock(g_active_mutex);
+    active = g_active;
+  }
+  for (Checkpointer* checkpointer : active) {
+    checkpointer->Snapshot();
+  }
+}
+
+}  // namespace parapll::build

@@ -1,0 +1,96 @@
+// Mid-build snapshots: make a multi-hour index build interruptible.
+//
+// The safety argument leans on the same relaxed-visibility induction that
+// makes parallel ParaPLL correct (paper Propositions 1–2). Define the
+// frontier F as a rank such that every root with rank < F has fully
+// finished. Pruned Dijkstra from root r only ever consults hubs with rank
+// < r, so the label entries with hub < F form a complete, final prefix of
+// the index — entries from in-flight or finished roots >= F can be
+// discarded and re-derived. A checkpoint therefore persists exactly that
+// prefix (labels.SnapshotRows(F)) plus the order and a manifest whose
+// roots_completed == F. A resumed build seeds its store from the prefix
+// and schedules roots [F, n); roots that had partially or fully run after
+// F are simply re-run, producing redundant-but-never-wrong labels that
+// FromRows dedups. Query answers equal an uninterrupted build's.
+//
+// Snapshots are written atomically (IndexArtifact::Save) so dying mid-
+// write leaves the previous checkpoint usable. The process-wide registry
+// at the bottom lets a SIGINT/SIGTERM flush hook (obs::ScopedSignalFlush)
+// snapshot whatever build is active before the process exits.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "pll/label_store.hpp"
+#include "pll/manifest.hpp"
+
+namespace parapll::build {
+
+struct CheckpointOptions {
+  std::string dir;  // snapshots land in dir + "/checkpoint.bin"
+  // Snapshot every `every` finished roots. 0 = never periodically; the
+  // checkpointer then only writes on Snapshot() (final flush / signal).
+  graph::VertexId every = 0;
+};
+
+class Checkpointer {
+ public:
+  // Returns every label row restricted to hubs < limit — the finalized
+  // prefix. Must be safe to call while workers are still appending
+  // (MutableLabels::SnapshotRows / ConcurrentLabelStore::SnapshotRows).
+  using SnapshotRowsFn =
+      std::function<std::vector<std::vector<pll::LabelEntry>>(
+          graph::VertexId limit)>;
+
+  // `manifest` is the build's provenance stub (cursor/totals/wall filled
+  // per snapshot); `order` is the build's rank -> vertex permutation.
+  // Registers itself for SnapshotActiveBuilds() until destruction.
+  Checkpointer(CheckpointOptions options, pll::BuildManifest manifest,
+               std::vector<graph::VertexId> order, SnapshotRowsFn rows);
+  ~Checkpointer();
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  // Driver callback after each finished root: folds the root's stats into
+  // the running totals, remembers the new frontier, and snapshots when
+  // `every` more roots have finished since the last write. Thread-safe.
+  void OnRootFinished(graph::VertexId frontier, const pll::PruneStats& stats,
+                      double wall_seconds);
+
+  // Writes a snapshot of the latest recorded frontier now (final flush,
+  // signal path). Thread-safe; serialized against periodic snapshots.
+  void Snapshot();
+
+  [[nodiscard]] std::string FilePath() const;
+  [[nodiscard]] std::size_t SnapshotsWritten() const;
+  [[nodiscard]] graph::VertexId LastFrontier() const;
+
+ private:
+  void SnapshotLocked();
+
+  CheckpointOptions options_;
+  pll::BuildManifest manifest_;
+  std::vector<graph::VertexId> order_;
+  SnapshotRowsFn rows_;
+
+  mutable std::mutex mutex_;
+  graph::VertexId frontier_ = 0;
+  pll::PruneStats totals_;           // this run's roots only
+  pll::PruneStats seed_totals_;      // carried over from a resumed run
+  double wall_seconds_ = 0.0;
+  double seed_wall_seconds_ = 0.0;
+  graph::VertexId finished_since_snapshot_ = 0;
+  std::size_t snapshots_ = 0;
+};
+
+// Snapshot every live Checkpointer. Wired into the CLI's signal-flush
+// hook so ^C on a long build leaves a resumable checkpoint behind.
+void SnapshotActiveBuilds();
+
+}  // namespace parapll::build

@@ -1,0 +1,175 @@
+// Legacy per-mode build entry points, now thin adapters over the unified
+// pipeline (build/pipeline.hpp). Their declarations stay in the original
+// headers so existing callers — tests, benches, tools — keep compiling;
+// the definitions live up here because they all depend on build::Run,
+// which sits above the per-mode libraries in the link order.
+#include "build/pipeline.hpp"
+
+#include <utility>
+
+#include "cluster/cluster_indexer.hpp"
+#include "graph/graph.hpp"
+#include "pll/dynamic_index.hpp"
+#include "pll/ordering.hpp"
+#include "pll/serial_pll.hpp"
+#include "vtime/cost_model.hpp"
+#include "vtime/sim_indexer.hpp"
+
+namespace parapll::pll {
+
+SerialBuildResult BuildSerial(const graph::Graph& g,
+                              const SerialBuildOptions& options) {
+  build::BuildPlan plan;
+  plan.mode = build::BuildMode::kSerial;
+  plan.ordering = options.ordering;
+  plan.seed = options.seed;
+  plan.record_trace = options.record_trace;
+  build::BuildOutcome outcome = build::Run(g, plan);
+
+  SerialBuildResult result;
+  result.store = outcome.artifact.index.Store();
+  result.order = outcome.artifact.index.Order();
+  result.indexing_seconds = outcome.wall_seconds;
+  result.totals = outcome.totals;
+  if (options.record_trace) {
+    // One worker: completion order is rank order, as the serial trace
+    // contract requires.
+    result.trace.reserve(outcome.trace.size());
+    for (const auto& [root, stats] : outcome.trace) {
+      result.trace.push_back(stats);
+    }
+  }
+  return result;
+}
+
+DynamicIndex DynamicIndex::Build(const graph::Graph& g,
+                                 OrderingPolicy ordering,
+                                 std::uint64_t seed) {
+  DynamicIndex index;
+  SerialBuildOptions options;
+  options.ordering = ordering;
+  options.seed = seed;
+  SerialBuildResult result = BuildSerial(g, options);
+  index.order_ = std::move(result.order);
+  index.rank_of_ = InvertOrder(index.order_);
+
+  const graph::VertexId n = g.NumVertices();
+  index.rows_.resize(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto row = result.store.Row(v);
+    index.rows_[v].assign(row.begin(), row.end());
+  }
+  const graph::Graph rank_graph = ToRankSpace(g, index.order_);
+  index.adjacency_.resize(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto nbrs = rank_graph.Neighbors(v);
+    index.adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  index.scratch_dist_.assign(n, graph::kInfiniteDistance);
+  index.scratch_root_.assign(n, graph::kInfiniteDistance);
+  return index;
+}
+
+}  // namespace parapll::pll
+
+namespace parapll::parallel {
+
+ParallelBuildResult BuildParallel(const graph::Graph& g,
+                                  const ParallelBuildOptions& options) {
+  build::BuildPlan plan;
+  plan.mode = build::BuildMode::kParallel;
+  plan.threads = options.threads;
+  plan.policy = options.policy;
+  plan.lock_mode = options.lock_mode;
+  plan.ordering = options.ordering;
+  plan.seed = options.seed;
+  plan.record_trace = options.record_trace;
+  build::BuildOutcome outcome = build::Run(g, plan);
+
+  ParallelBuildResult result;
+  result.store = outcome.artifact.index.Store();
+  result.order = outcome.artifact.index.Order();
+  result.indexing_seconds = outcome.wall_seconds;
+  result.totals = outcome.totals;
+  result.threads = std::move(outcome.reports);
+  result.trace.reserve(outcome.trace.size());
+  for (const auto& [root, stats] : outcome.trace) {
+    result.trace.emplace_back(root, stats.labels_added);
+  }
+  return result;
+}
+
+}  // namespace parapll::parallel
+
+namespace parapll::vtime {
+
+SimBuildResult BuildSimulated(const graph::Graph& g,
+                              const SimBuildOptions& options) {
+  build::BuildPlan plan;
+  plan.mode = build::BuildMode::kSimulated;
+  plan.threads = options.workers;
+  plan.policy = options.policy;
+  plan.ordering = options.ordering;
+  plan.cost = options.cost;
+  plan.seed = options.seed;
+  plan.record_trace = options.record_trace;
+  build::BuildOutcome outcome = build::Run(g, plan);
+
+  SimBuildResult result;
+  result.store = outcome.artifact.index.Store();
+  result.order = outcome.artifact.index.Order();
+  result.makespan_units = outcome.makespan_units;
+  result.total_units = outcome.total_units;
+  result.worker_units = std::move(outcome.worker_units);
+  result.totals = outcome.totals;
+  result.trace.reserve(outcome.trace.size());
+  for (const auto& [root, stats] : outcome.trace) {
+    result.trace.emplace_back(root, stats.labels_added);
+  }
+  return result;
+}
+
+double CalibrateSecondsPerUnit(const graph::Graph& g, const CostModel& model) {
+  pll::SerialBuildOptions options;
+  const pll::SerialBuildResult result = pll::BuildSerial(g, options);
+  const double units = model.Units(result.totals);
+  if (units <= 0.0) {
+    return 0.0;
+  }
+  return result.indexing_seconds / units;
+}
+
+}  // namespace parapll::vtime
+
+namespace parapll::cluster {
+
+ClusterBuildResult BuildCluster(const graph::Graph& g,
+                                const ClusterBuildOptions& options) {
+  build::BuildPlan plan;
+  plan.mode = build::BuildMode::kCluster;
+  plan.threads = options.workers_per_node;
+  plan.nodes = options.nodes;
+  plan.sync_count = options.sync_count;
+  plan.policy = options.intra_policy;
+  plan.ordering = options.ordering;
+  plan.ownership = options.ownership;
+  plan.cost = options.cost;
+  plan.comm = options.comm;
+  plan.seed = options.seed;
+  build::BuildOutcome outcome = build::Run(g, plan);
+
+  ClusterBuildResult result;
+  result.store = outcome.artifact.index.Store();
+  result.order = outcome.artifact.index.Order();
+  result.makespan_units = outcome.makespan_units;
+  result.comm_units = outcome.comm_units;
+  result.compute_units = outcome.compute_units;
+  result.node_compute_units = std::move(outcome.node_compute_units);
+  result.bytes_exchanged = outcome.bytes_exchanged;
+  result.sync_rounds = outcome.sync_rounds;
+  result.entries_exchanged = outcome.entries_exchanged;
+  result.totals = outcome.totals;
+  return result;
+}
+
+}  // namespace parapll::cluster

@@ -1,0 +1,176 @@
+#include "build/root_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace parapll::build {
+
+namespace {
+
+// Worker w gets begin+w, begin+w+p, ... Per-worker cursors are atomics
+// only so LowerBound() may read them from a checkpointing thread; each
+// cursor is written by its own worker alone.
+class StaticRangeScheduler final : public RootScheduler {
+ public:
+  StaticRangeScheduler(graph::VertexId begin, graph::VertexId end,
+                       std::size_t workers)
+      : begin_(begin), end_(end), next_(workers) {
+    for (auto& cursor : next_) {
+      cursor.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  graph::VertexId Claim(std::size_t worker) override {
+    const graph::VertexId root = Peek(worker);
+    if (root != graph::kInvalidVertex) {
+      next_[worker].fetch_add(1, std::memory_order_relaxed);
+    }
+    return root;
+  }
+
+  [[nodiscard]] graph::VertexId Peek(std::size_t worker) const override {
+    const graph::VertexId stride =
+        static_cast<graph::VertexId>(next_.size());
+    const graph::VertexId root =
+        begin_ + static_cast<graph::VertexId>(worker) +
+        next_[worker].load(std::memory_order_relaxed) * stride;
+    return root < end_ ? root : graph::kInvalidVertex;
+  }
+
+  void Advance(std::size_t worker) override {
+    next_[worker].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] graph::VertexId LowerBound() const override {
+    graph::VertexId lower = end_;
+    for (std::size_t w = 0; w < next_.size(); ++w) {
+      const graph::VertexId root = Peek(w);
+      if (root != graph::kInvalidVertex && root < lower) {
+        lower = root;
+      }
+    }
+    return lower;
+  }
+
+ private:
+  graph::VertexId begin_;
+  graph::VertexId end_;
+  std::vector<std::atomic<graph::VertexId>> next_;
+};
+
+// Shared ordered queue: any free worker takes the next rank. Because the
+// ranks are already sorted by descending degree, a fetch_add over
+// [begin, end) is the paper's locked dequeue without the lock convoy.
+class DynamicRangeScheduler final : public RootScheduler {
+ public:
+  DynamicRangeScheduler(graph::VertexId begin, graph::VertexId end)
+      : end_(end), cursor_(begin) {}
+
+  graph::VertexId Claim(std::size_t /*worker*/) override {
+    const graph::VertexId root =
+        cursor_.fetch_add(1, std::memory_order_relaxed);
+    return root < end_ ? root : graph::kInvalidVertex;
+  }
+
+  [[nodiscard]] graph::VertexId Peek(std::size_t /*worker*/) const override {
+    const graph::VertexId root = cursor_.load(std::memory_order_relaxed);
+    return root < end_ ? root : graph::kInvalidVertex;
+  }
+
+  void Advance(std::size_t /*worker*/) override {
+    cursor_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] graph::VertexId LowerBound() const override {
+    const graph::VertexId root = cursor_.load(std::memory_order_relaxed);
+    return root < end_ ? root : end_;
+  }
+
+ private:
+  graph::VertexId end_;
+  std::atomic<graph::VertexId> cursor_;
+};
+
+// Positional scheduling over an explicit root list — one cluster node's
+// epoch share. Single-threaded by construction (each fabric rank owns its
+// scheduler), so plain counters suffice.
+class EpochScheduler final : public RootScheduler {
+ public:
+  EpochScheduler(parallel::AssignmentPolicy policy,
+                 std::vector<graph::VertexId> roots, std::size_t workers)
+      : policy_(policy), roots_(std::move(roots)) {
+    if (policy_ == parallel::AssignmentPolicy::kStatic) {
+      next_static_.assign(workers, 0);
+    }
+  }
+
+  graph::VertexId Claim(std::size_t worker) override {
+    const graph::VertexId root = Peek(worker);
+    if (root != graph::kInvalidVertex) {
+      Advance(worker);
+    }
+    return root;
+  }
+
+  [[nodiscard]] graph::VertexId Peek(std::size_t worker) const override {
+    const std::size_t index = PeekIndex(worker);
+    return index < roots_.size() ? roots_[index] : graph::kInvalidVertex;
+  }
+
+  void Advance(std::size_t worker) override {
+    if (policy_ == parallel::AssignmentPolicy::kStatic) {
+      ++next_static_[worker];
+    } else {
+      ++shared_cursor_;
+    }
+  }
+
+  [[nodiscard]] graph::VertexId LowerBound() const override {
+    if (policy_ == parallel::AssignmentPolicy::kStatic) {
+      std::size_t lower = roots_.size();
+      for (std::size_t w = 0; w < next_static_.size(); ++w) {
+        lower = std::min(lower, PeekIndex(w));
+      }
+      return static_cast<graph::VertexId>(lower);
+    }
+    return static_cast<graph::VertexId>(
+        std::min(shared_cursor_, roots_.size()));
+  }
+
+ private:
+  [[nodiscard]] std::size_t PeekIndex(std::size_t worker) const {
+    if (policy_ == parallel::AssignmentPolicy::kStatic) {
+      return worker + next_static_[worker] * next_static_.size();
+    }
+    return shared_cursor_;
+  }
+
+  parallel::AssignmentPolicy policy_;
+  std::vector<graph::VertexId> roots_;
+  std::vector<std::size_t> next_static_;
+  std::size_t shared_cursor_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RootScheduler> MakeRangeScheduler(
+    parallel::AssignmentPolicy policy, graph::VertexId begin,
+    graph::VertexId end, std::size_t workers) {
+  PARAPLL_CHECK(workers >= 1);
+  PARAPLL_CHECK(begin <= end);
+  if (policy == parallel::AssignmentPolicy::kStatic) {
+    return std::make_unique<StaticRangeScheduler>(begin, end, workers);
+  }
+  return std::make_unique<DynamicRangeScheduler>(begin, end);
+}
+
+std::unique_ptr<RootScheduler> MakeEpochScheduler(
+    parallel::AssignmentPolicy policy, std::vector<graph::VertexId> roots,
+    std::size_t workers) {
+  PARAPLL_CHECK(workers >= 1);
+  return std::make_unique<EpochScheduler>(policy, std::move(roots), workers);
+}
+
+}  // namespace parapll::build

@@ -1,0 +1,60 @@
+// Pluggable root-assignment policies for the unified root loop.
+//
+// A RootScheduler owns the order in which indexing roots reach workers.
+// The three concrete policies mirror the paper's task managers:
+//   * static round-robin  — worker w gets ranks w, w+p, ... (Fig. 2)
+//   * dynamic             — shared atomic cursor over the rank order, the
+//                           lock-free form of Algorithm 2's queue (Fig. 3)
+//   * epoch list          — an explicit root list (one cluster node's share
+//                           of an epoch, Algorithm 3) scheduled with either
+//                           intra-node policy
+//
+// Two access styles serve the two drivers in root_loop.hpp:
+//   * Claim(w)            — thread-safe claim-and-advance, used by the
+//                           real-thread driver;
+//   * Peek(w)/Advance(w)  — split probing for the single-threaded
+//                           virtual-time driver, which must inspect every
+//                           worker's next root before choosing one.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "parapll/options.hpp"
+
+namespace parapll::build {
+
+class RootScheduler {
+ public:
+  virtual ~RootScheduler() = default;
+
+  // Claims worker w's next root, or kInvalidVertex when w is done.
+  // Safe to call concurrently from distinct workers.
+  virtual graph::VertexId Claim(std::size_t worker) = 0;
+
+  // The root Claim(worker) would return, without claiming it. Peek and
+  // Advance are for single-threaded drivers only.
+  [[nodiscard]] virtual graph::VertexId Peek(std::size_t worker) const = 0;
+  virtual void Advance(std::size_t worker) = 0;
+
+  // Smallest rank not yet claimed by any worker. Together with the
+  // driver's in-flight set this bounds the checkpoint frontier: every
+  // rank below min(LowerBound, in-flight) has finished.
+  [[nodiscard]] virtual graph::VertexId LowerBound() const = 0;
+};
+
+// Roots [begin, end) in rank order under the given policy.
+std::unique_ptr<RootScheduler> MakeRangeScheduler(
+    parallel::AssignmentPolicy policy, graph::VertexId begin,
+    graph::VertexId end, std::size_t workers);
+
+// An explicit root list (e.g. one cluster node's share of an epoch),
+// scheduled positionally under the given policy. LowerBound reports the
+// smallest unclaimed *position*, not rank — epoch drivers track frontiers
+// themselves.
+std::unique_ptr<RootScheduler> MakeEpochScheduler(
+    parallel::AssignmentPolicy policy, std::vector<graph::VertexId> roots,
+    std::size_t workers);
+
+}  // namespace parapll::build

@@ -1,17 +1,13 @@
+// Cluster-mode helpers: cost model, root ownership, and epoch boundaries.
+// The build loop itself lives in the unified pipeline (build/pipeline.cpp);
+// cluster::BuildCluster is a compat wrapper in build/compat.cpp.
 #include "cluster/cluster_indexer.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
-#include "cluster/comm.hpp"
-#include "cluster/wire.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "pll/serial_pll.hpp"
-#include "util/rng.hpp"
 #include "util/check.hpp"
-#include "vtime/timestamped_labels.hpp"
+#include "util/rng.hpp"
 
 namespace parapll::cluster {
 
@@ -81,214 +77,6 @@ std::vector<graph::VertexId> SyncBoundaries(graph::VertexId n,
   }
   boundaries.push_back(n);  // last epoch absorbs the remainder
   return boundaries;
-}
-
-namespace {
-
-// Forwards the Labels concept to a SimLabelView while logging appends into
-// the node's pending update list (Alg. 3 lines 9–10).
-class LoggingSimView {
- public:
-  LoggingSimView(vtime::SimLabelView view, std::vector<LabelUpdate>& log)
-      : view_(std::move(view)), log_(log) {}
-
-  template <typename F>
-  void ForEach(graph::VertexId v, F&& fn) {
-    view_.ForEach(v, std::forward<F>(fn));
-  }
-
-  void Append(graph::VertexId v, graph::VertexId hub, graph::Distance dist) {
-    view_.Append(v, hub, dist);
-    log_.push_back(LabelUpdate{v, hub, dist});
-  }
-
- private:
-  vtime::SimLabelView view_;
-  std::vector<LabelUpdate>& log_;
-};
-
-struct NodeOutcome {
-  double clock = 0.0;
-  double comm_units = 0.0;
-  double compute_units = 0.0;
-  pll::PruneStats totals;
-  std::unique_ptr<vtime::TimestampedLabels> labels;  // kept by rank 0 only
-};
-
-}  // namespace
-
-ClusterBuildResult BuildCluster(const graph::Graph& g,
-                                const ClusterBuildOptions& options) {
-  PARAPLL_CHECK(options.nodes >= 1);
-  PARAPLL_CHECK(options.workers_per_node >= 1);
-  PARAPLL_SPAN("build_cluster", "nodes", options.nodes);
-  ClusterBuildResult result;
-  result.order = pll::ComputeOrder(g, options.ordering, options.seed);
-  const graph::Graph rank_graph = pll::ToRankSpace(g, result.order);
-  const graph::VertexId n = rank_graph.NumVertices();
-  const std::size_t q = options.nodes;
-  const std::size_t p = options.workers_per_node;
-  const auto boundaries = SyncBoundaries(n, options.sync_count);
-  const auto owners = ComputeOwners(n, q, options.ownership, options.seed);
-
-  Fabric fabric(q);
-  std::vector<NodeOutcome> outcomes(q);
-  std::size_t entries_exchanged_total = 0;
-  std::mutex exchange_mutex;
-
-  fabric.Run([&](Communicator& comm) {
-    const std::size_t r = comm.Rank();
-    PARAPLL_SPAN("cluster.node", "rank", r);
-    auto labels = std::make_unique<vtime::TimestampedLabels>(n);
-    pll::PruneScratch scratch(n);
-    NodeOutcome& outcome = outcomes[r];
-    std::vector<LabelUpdate> pending;
-    double clock = 0.0;
-
-    for (std::size_t epoch = 0; epoch + 1 < boundaries.size(); ++epoch) {
-      // My roots in this epoch, per the inter-node ownership policy.
-      std::vector<graph::VertexId> mine;
-      for (graph::VertexId k = boundaries[epoch]; k < boundaries[epoch + 1];
-           ++k) {
-        if (owners[k] == r) {
-          mine.push_back(k);
-        }
-      }
-
-      // Virtual-time simulation of p intra-node workers over `mine`.
-      std::vector<double> wclock(p, clock);
-      std::vector<std::size_t> next_static(p, 0);
-      std::size_t shared_cursor = 0;
-      auto peek = [&](std::size_t w) -> std::size_t {
-        if (options.intra_policy == parallel::AssignmentPolicy::kStatic) {
-          const std::size_t idx = w + next_static[w] * p;
-          return idx < mine.size() ? idx : SIZE_MAX;
-        }
-        return shared_cursor < mine.size() ? shared_cursor : SIZE_MAX;
-      };
-      auto advance = [&](std::size_t w) {
-        if (options.intra_policy == parallel::AssignmentPolicy::kStatic) {
-          ++next_static[w];
-        } else {
-          ++shared_cursor;
-        }
-      };
-      for (;;) {
-        std::size_t chosen = p;
-        for (std::size_t w = 0; w < p; ++w) {
-          if (peek(w) == SIZE_MAX) {
-            continue;
-          }
-          if (chosen == p || wclock[w] < wclock[chosen]) {
-            chosen = w;
-          }
-        }
-        if (chosen == p) {
-          break;
-        }
-        const graph::VertexId root = mine[peek(chosen)];
-        advance(chosen);
-        LoggingSimView view(
-            vtime::SimLabelView(*labels, rank_graph, options.cost,
-                                wclock[chosen]),
-            pending);
-        const pll::PruneStats stats =
-            pll::PrunedDijkstra(rank_graph, root, view, scratch);
-        const double units = options.cost.Units(stats);
-        wclock[chosen] += units;
-        pll::Accumulate(outcome.totals, stats);
-      }
-      const double epoch_end = *std::max_element(wclock.begin(), wclock.end());
-      outcome.compute_units += epoch_end - clock;
-      clock = epoch_end;
-
-      // Synchronization (Alg. 3 line 15): AllGather everyone's List.
-      PARAPLL_SPAN("cluster.sync", "epoch", epoch);
-      const auto parts = comm.AllGather(EncodeUpdates(clock, pending));
-      double sync_start = clock;
-      std::size_t total_entries = 0;
-      std::vector<DecodedUpdates> decoded(q);
-      for (std::size_t s = 0; s < q; ++s) {
-        decoded[s] = DecodeUpdates(parts[s]);
-        sync_start = std::max(sync_start, decoded[s].node_clock);
-        total_entries += decoded[s].updates.size();
-      }
-      const double exchange = options.comm.ExchangeUnits(total_entries, q);
-      double merge_units = 0.0;
-      std::size_t merged_entries = 0;
-      const double visible_at = sync_start + exchange;
-      for (std::size_t s = 0; s < q; ++s) {
-        if (s == r) {
-          continue;  // own updates are already in `labels`
-        }
-        for (const LabelUpdate& u : decoded[s].updates) {
-          labels->Append(u.vertex, u.hub, u.dist, visible_at);
-        }
-        merged_entries += decoded[s].updates.size();
-        merge_units += options.comm.merge_per_entry *
-                       static_cast<double>(decoded[s].updates.size());
-      }
-      clock = visible_at + merge_units;
-      outcome.comm_units += exchange;
-      outcome.compute_units += merge_units;
-      pending.clear();
-      if (r == 0) {
-        std::lock_guard<std::mutex> lock(exchange_mutex);
-        entries_exchanged_total += total_entries;
-      }
-      if (obs::MetricsEnabled()) {
-        auto& registry = obs::Registry::Global();
-        static obs::Counter& merged =
-            registry.GetCounter("cluster.labels_merged");
-        static obs::Histogram& per_round =
-            registry.GetHistogram("cluster.entries_per_sync");
-        merged.Add(merged_entries);
-        if (r == 0) {
-          static obs::Counter& rounds =
-              registry.GetCounter("cluster.sync_rounds");
-          static obs::Counter& exchanged =
-              registry.GetCounter("cluster.entries_exchanged");
-          rounds.Add(1);
-          exchanged.Add(total_entries);
-          per_round.Record(total_entries);
-          // Label growth on the representative node, refreshed at every
-          // sync so the telemetry sampler sees it rise round by round.
-          registry.GetGauge("cluster.labels_memory_bytes")
-              .Set(static_cast<double>(labels->MemoryBytes()));
-          registry.GetGauge("cluster.sync_rounds_done")
-              .Set(static_cast<double>(epoch + 1));
-          registry.GetGauge("cluster.sync_rounds_total")
-              .Set(static_cast<double>(boundaries.size() - 1));
-        }
-      }
-    }
-
-    outcome.clock = clock;
-    if (r == 0) {
-      outcome.labels = std::move(labels);
-    }
-  });
-
-  for (const NodeOutcome& outcome : outcomes) {
-    result.makespan_units = std::max(result.makespan_units, outcome.clock);
-    result.node_compute_units.push_back(outcome.compute_units);
-    pll::Accumulate(result.totals, outcome.totals);
-  }
-  result.comm_units = outcomes[0].comm_units;
-  result.compute_units = result.makespan_units - result.comm_units;
-  result.bytes_exchanged = fabric.TotalBytesSent();
-  result.sync_rounds = boundaries.size() - 1;
-  result.entries_exchanged = entries_exchanged_total;
-  if (obs::MetricsEnabled()) {
-    auto& registry = obs::Registry::Global();
-    registry.GetGauge("cluster.bytes_exchanged")
-        .Set(static_cast<double>(result.bytes_exchanged));
-    registry.GetGauge("cluster.makespan_units").Set(result.makespan_units);
-    registry.GetGauge("cluster.comm_units").Set(result.comm_units);
-  }
-  PARAPLL_CHECK(outcomes[0].labels != nullptr);
-  result.store = outcomes[0].labels->Finalize();
-  return result;
 }
 
 }  // namespace parapll::cluster

@@ -1,96 +1,36 @@
 #include "core/builder.hpp"
 
-#include "parapll/parallel_indexer.hpp"
-#include "pll/serial_pll.hpp"
-#include "util/check.hpp"
-#include "util/timer.hpp"
-#include "vtime/sim_indexer.hpp"
-
 namespace parapll {
-
-std::string ToString(BuildMode mode) {
-  switch (mode) {
-    case BuildMode::kSerial:
-      return "serial";
-    case BuildMode::kParallel:
-      return "parallel";
-    case BuildMode::kSimulated:
-      return "simulated";
-    case BuildMode::kCluster:
-      return "cluster";
-  }
-  return "?";
-}
 
 pll::Index IndexBuilder::Build(const graph::Graph& g,
                                BuildReport* report) const {
-  BuildReport local;
-  local.mode = mode_;
-  util::WallTimer wall;
-  pll::Index index;
+  build::BuildOutcome outcome = build::Run(g, plan_);
+  pll::Index index = std::move(outcome.artifact.index);
 
-  switch (mode_) {
-    case BuildMode::kSerial: {
-      pll::SerialBuildOptions options;
-      options.ordering = ordering_;
-      options.seed = seed_;
-      pll::SerialBuildResult result = pll::BuildSerial(g, options);
-      local.totals = result.totals;
-      local.total_units = cost_.Units(result.totals);
-      local.makespan_units = local.total_units;
-      index = pll::Index(std::move(result.store), std::move(result.order));
-      break;
-    }
-    case BuildMode::kParallel: {
-      parallel::ParallelBuildOptions options;
-      options.threads = threads_;
-      options.policy = policy_;
-      options.lock_mode = lock_mode_;
-      options.ordering = ordering_;
-      options.seed = seed_;
-      parallel::ParallelBuildResult result = BuildParallel(g, options);
-      local.totals = result.totals;
-      local.total_units = cost_.Units(result.totals);
-      index = pll::Index(std::move(result.store), std::move(result.order));
-      break;
-    }
-    case BuildMode::kSimulated: {
-      vtime::SimBuildOptions options;
-      options.workers = threads_;
-      options.policy = policy_;
-      options.ordering = ordering_;
-      options.cost = cost_;
-      options.seed = seed_;
-      vtime::SimBuildResult result = BuildSimulated(g, options);
-      local.totals = result.totals;
-      local.total_units = result.total_units;
-      local.makespan_units = result.makespan_units;
-      index = pll::Index(std::move(result.store), std::move(result.order));
-      break;
-    }
-    case BuildMode::kCluster: {
-      cluster::ClusterBuildOptions options;
-      options.nodes = nodes_;
-      options.workers_per_node = threads_;
-      options.intra_policy = policy_;
-      options.ordering = ordering_;
-      options.sync_count = sync_count_;
-      options.cost = cost_;
-      options.seed = seed_;
-      cluster::ClusterBuildResult result = BuildCluster(g, options);
-      local.totals = result.totals;
-      local.total_units = cost_.Units(result.totals);
-      local.makespan_units = result.makespan_units;
-      index = pll::Index(std::move(result.store), std::move(result.order));
-      break;
-    }
-  }
-
-  local.indexing_seconds = wall.Seconds();
-  local.avg_label_size = index.AvgLabelSize();
-  local.total_label_entries = index.TotalEntries();
-  local.index_bytes = index.MemoryBytes();
   if (report != nullptr) {
+    BuildReport local;
+    local.mode = plan_.mode;
+    local.indexing_seconds = outcome.wall_seconds;
+    local.totals = outcome.totals;
+    switch (plan_.mode) {
+      case BuildMode::kSerial:
+        local.total_units = plan_.cost.Units(outcome.totals);
+        local.makespan_units = local.total_units;
+        break;
+      case BuildMode::kParallel:
+        local.total_units = plan_.cost.Units(outcome.totals);
+        break;
+      case BuildMode::kSimulated:
+      case BuildMode::kCluster:
+        local.total_units = outcome.total_units;
+        local.makespan_units = outcome.makespan_units;
+        break;
+    }
+    local.avg_label_size = index.AvgLabelSize();
+    local.total_label_entries = index.TotalEntries();
+    local.index_bytes = index.MemoryBytes();
+    local.roots_completed = index.Manifest().roots_completed;
+    local.complete = outcome.complete;
     *report = local;
   }
   return index;

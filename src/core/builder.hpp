@@ -9,12 +9,19 @@
 //   kCluster         — inter-node ParaPLL on the message fabric (§4.5)
 // and returns a queryable pll::Index plus a BuildReport of the metrics the
 // paper tabulates (indexing time, speedup inputs, average label size).
+//
+// Every mode routes through the unified build pipeline (src/build/): one
+// BuildPlan, one resolved ordering, one instrumented root loop. The
+// returned index carries a provenance manifest (pll/manifest.hpp), and
+// serial/parallel builds can snapshot checkpoints and resume them — see
+// CheckpointEvery / ResumeFrom below.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
-#include "cluster/cluster_indexer.hpp"
+#include "build/build_plan.hpp"
+#include "build/pipeline.hpp"
 #include "graph/graph.hpp"
 #include "parapll/options.hpp"
 #include "pll/index.hpp"
@@ -23,14 +30,11 @@
 
 namespace parapll {
 
-enum class BuildMode {
-  kSerial,
-  kParallel,
-  kSimulated,
-  kCluster,
-};
-
-std::string ToString(BuildMode mode);
+// The canonical mode enum lives in the build layer; this alias keeps the
+// long-standing parapll::BuildMode spelling working. (No second ToString
+// declaration here: build::ToString is found via ADL on the alias.)
+using BuildMode = build::BuildMode;
+using build::ToString;
 
 struct BuildReport {
   BuildMode mode = BuildMode::kSerial;
@@ -41,63 +45,84 @@ struct BuildReport {
   std::size_t total_label_entries = 0;
   std::size_t index_bytes = 0;
   pll::PruneStats totals;
+  // Build cursor: < NumVertices when the build halted at a checkpoint
+  // frontier (HaltAfterRoots), == when it ran to completion.
+  std::uint64_t roots_completed = 0;
+  bool complete = true;
 };
 
 class IndexBuilder {
  public:
   IndexBuilder& Mode(BuildMode mode) {
-    mode_ = mode;
+    plan_.mode = mode;
     return *this;
   }
   // Worker threads (kParallel), simulated workers (kSimulated), or
   // workers per node (kCluster).
   IndexBuilder& Threads(std::size_t threads) {
-    threads_ = threads;
+    plan_.threads = threads;
     return *this;
   }
   IndexBuilder& Nodes(std::size_t nodes) {
-    nodes_ = nodes;
+    plan_.nodes = nodes;
     return *this;
   }
   IndexBuilder& SyncCount(std::size_t count) {
-    sync_count_ = count;
+    plan_.sync_count = count;
     return *this;
   }
   IndexBuilder& Policy(parallel::AssignmentPolicy policy) {
-    policy_ = policy;
+    plan_.policy = policy;
     return *this;
   }
   IndexBuilder& Ordering(pll::OrderingPolicy ordering) {
-    ordering_ = ordering;
+    plan_.ordering = ordering;
     return *this;
   }
   IndexBuilder& LockScheme(parallel::LockMode mode) {
-    lock_mode_ = mode;
+    plan_.lock_mode = mode;
     return *this;
   }
   IndexBuilder& Seed(std::uint64_t seed) {
-    seed_ = seed;
+    plan_.seed = seed;
     return *this;
   }
   IndexBuilder& Cost(const vtime::CostModel& cost) {
-    cost_ = cost;
+    plan_.cost = cost;
     return *this;
   }
+  // Snapshot a resumable checkpoint to `dir` every `every` finished roots
+  // (serial/parallel only; see build/checkpoint.hpp for the safety
+  // argument).
+  IndexBuilder& CheckpointEvery(graph::VertexId every) {
+    plan_.checkpoint_every = every;
+    return *this;
+  }
+  IndexBuilder& CheckpointDir(std::string dir) {
+    plan_.checkpoint_dir = std::move(dir);
+    return *this;
+  }
+  // Continue the build whose checkpoint lives in `dir` (ordering and seed
+  // come from the checkpoint, not this builder).
+  IndexBuilder& ResumeFrom(std::string dir) {
+    plan_.resume_dir = std::move(dir);
+    return *this;
+  }
+  // Stop claiming roots after this many have finished (test/ops hook for
+  // producing an interrupted build deterministically).
+  IndexBuilder& HaltAfterRoots(graph::VertexId roots) {
+    plan_.halt_after_roots = roots;
+    return *this;
+  }
+
+  [[nodiscard]] const build::BuildPlan& Plan() const { return plan_; }
 
   // Builds the index; `report`, when non-null, receives build metrics.
   [[nodiscard]] pll::Index Build(const graph::Graph& g,
                                  BuildReport* report = nullptr) const;
 
  private:
-  BuildMode mode_ = BuildMode::kSerial;
-  std::size_t threads_ = 1;
-  std::size_t nodes_ = 1;
-  std::size_t sync_count_ = 1;
-  parallel::AssignmentPolicy policy_ = parallel::AssignmentPolicy::kDynamic;
-  pll::OrderingPolicy ordering_ = pll::OrderingPolicy::kDegree;
-  parallel::LockMode lock_mode_ = parallel::LockMode::kStriped;
-  std::uint64_t seed_ = 0;
-  vtime::CostModel cost_;
+  build::BuildPlan plan_;
 };
 
 }  // namespace parapll

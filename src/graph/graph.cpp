@@ -89,4 +89,27 @@ Graph Graph::Relabel(std::span<const VertexId> permutation) const {
   return FromEdges(n, edges);
 }
 
+std::uint64_t Fingerprint(const Graph& g) {
+  // FNV-1a, 64-bit. The CSR form is canonical (sorted arcs, deduped
+  // edges), so hashing it directly is input-order independent.
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  auto mix = [&h](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (byte * 8)) & 0xffU;
+      h *= kPrime;
+    }
+  };
+  const VertexId n = g.NumVertices();
+  mix(n);
+  for (VertexId u = 0; u < n; ++u) {
+    mix(g.Degree(u));
+    for (const Arc& arc : g.Neighbors(u)) {
+      mix((static_cast<std::uint64_t>(arc.target) << 32) | arc.weight);
+    }
+  }
+  return h;
+}
+
 }  // namespace parapll::graph

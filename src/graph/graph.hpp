@@ -58,4 +58,11 @@ class Graph {
   std::vector<Arc> arcs_;             // size 2|E|
 };
 
+// Order-independent-input structural fingerprint of a graph: FNV-1a over
+// n and the sorted CSR adjacency (targets + weights). Two graphs compare
+// equal iff they fingerprint equal up to 64-bit collisions; build
+// manifests use it to pair an index (or checkpoint) with the graph it was
+// built from.
+[[nodiscard]] std::uint64_t Fingerprint(const Graph& g);
+
 }  // namespace parapll::graph

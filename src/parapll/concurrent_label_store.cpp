@@ -39,6 +39,17 @@ ConcurrentLabelStore::ConcurrentLabelStore(graph::VertexId n, LockMode mode)
   }
 }
 
+ConcurrentLabelStore::ConcurrentLabelStore(
+    std::vector<std::vector<pll::LabelEntry>> rows, LockMode mode)
+    : ConcurrentLabelStore(static_cast<graph::VertexId>(rows.size()), mode) {
+  rows_ = std::move(rows);
+  std::size_t bytes = 0;
+  for (const auto& row : rows_) {
+    bytes += row.capacity() * sizeof(pll::LabelEntry);
+  }
+  entry_bytes_.store(bytes, std::memory_order_relaxed);
+}
+
 void ConcurrentLabelStore::LockRow(graph::VertexId v) {
   if (obs::MetricsEnabled()) {
     LockRowCounted(v);
@@ -129,6 +140,22 @@ std::size_t ConcurrentLabelStore::TotalEntries() const {
 
 pll::LabelStore ConcurrentLabelStore::TakeFinalized() {
   return pll::LabelStore::FromRows(std::move(rows_));
+}
+
+std::vector<std::vector<pll::LabelEntry>> ConcurrentLabelStore::SnapshotRows(
+    graph::VertexId limit) const {
+  auto* self = const_cast<ConcurrentLabelStore*>(this);
+  std::vector<std::vector<pll::LabelEntry>> out(rows_.size());
+  for (graph::VertexId v = 0; v < NumVertices(); ++v) {
+    self->LockRow(v);
+    for (const pll::LabelEntry& e : rows_[v]) {
+      if (e.hub < limit) {
+        out[v].push_back(e);
+      }
+    }
+    self->UnlockRow(v);
+  }
+  return out;
 }
 
 }  // namespace parapll::parallel

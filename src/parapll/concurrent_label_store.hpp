@@ -22,6 +22,11 @@ class ConcurrentLabelStore {
  public:
   ConcurrentLabelStore(graph::VertexId n, LockMode mode);
 
+  // Seeded construction: resume a build from checkpointed rows. Called
+  // before any worker starts, so no locking is needed here.
+  ConcurrentLabelStore(std::vector<std::vector<pll::LabelEntry>> rows,
+                       LockMode mode);
+
   ConcurrentLabelStore(const ConcurrentLabelStore&) = delete;
   ConcurrentLabelStore& operator=(const ConcurrentLabelStore&) = delete;
 
@@ -60,6 +65,14 @@ class ConcurrentLabelStore {
   // Moves the rows into an immutable query-stage store. Must only be
   // called after all workers have finished.
   pll::LabelStore TakeFinalized();
+
+  // Copy of every row keeping only entries with hub < limit, taken while
+  // workers may still be appending: rows are locked one at a time, so
+  // each row copy is internally consistent, and entries from roots
+  // >= limit (possibly mid-flight) are excluded. This is the
+  // "finalized prefix" a checkpoint persists.
+  [[nodiscard]] std::vector<std::vector<pll::LabelEntry>> SnapshotRows(
+      graph::VertexId limit) const;
 
  private:
   void LockRow(graph::VertexId v);

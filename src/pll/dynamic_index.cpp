@@ -3,38 +3,12 @@
 #include <algorithm>
 #include <queue>
 
-#include "pll/serial_pll.hpp"
 #include "util/check.hpp"
 
+// DynamicIndex::Build lives in build/compat.cpp: it seeds from BuildSerial,
+// which now runs on the unified pipeline above this library in link order.
+
 namespace parapll::pll {
-
-DynamicIndex DynamicIndex::Build(const graph::Graph& g,
-                                 OrderingPolicy ordering,
-                                 std::uint64_t seed) {
-  DynamicIndex index;
-  SerialBuildOptions options;
-  options.ordering = ordering;
-  options.seed = seed;
-  SerialBuildResult result = BuildSerial(g, options);
-  index.order_ = std::move(result.order);
-  index.rank_of_ = InvertOrder(index.order_);
-
-  const graph::VertexId n = g.NumVertices();
-  index.rows_.resize(n);
-  for (graph::VertexId v = 0; v < n; ++v) {
-    const auto row = result.store.Row(v);
-    index.rows_[v].assign(row.begin(), row.end());
-  }
-  const graph::Graph rank_graph = ToRankSpace(g, index.order_);
-  index.adjacency_.resize(n);
-  for (graph::VertexId v = 0; v < n; ++v) {
-    const auto nbrs = rank_graph.Neighbors(v);
-    index.adjacency_[v].assign(nbrs.begin(), nbrs.end());
-  }
-  index.scratch_dist_.assign(n, graph::kInfiniteDistance);
-  index.scratch_root_.assign(n, graph::kInfiniteDistance);
-  return index;
-}
 
 graph::Distance DynamicIndex::QueryRanks(graph::VertexId a,
                                          graph::VertexId b) const {

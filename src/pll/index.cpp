@@ -47,6 +47,7 @@ std::size_t Index::MemoryBytes() const {
 }
 
 void Index::Save(std::ostream& out) const {
+  manifest_.Serialize(out);
   store_.Serialize(out);
   for (graph::VertexId v : order_) {
     out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -54,6 +55,12 @@ void Index::Save(std::ostream& out) const {
 }
 
 Index Index::Load(std::istream& in) {
+  // Manifest-first layout; a stream opening directly with the label-store
+  // magic is the pre-manifest format and loads with default provenance.
+  BuildManifest manifest;
+  if (BuildManifest::PeekMagic(in)) {
+    manifest = BuildManifest::Deserialize(in);
+  }
   LabelStore store = LabelStore::Deserialize(in);
   std::vector<graph::VertexId> order(store.NumVertices());
   for (auto& v : order) {
@@ -65,7 +72,9 @@ Index Index::Load(std::istream& in) {
   // A corrupted order would index out of bounds in InvertOrder and make
   // RankOf nonsense; reject it here with a recoverable error instead.
   ValidateOrderPermutation(order);
-  return Index(std::move(store), std::move(order));
+  Index index(std::move(store), std::move(order));
+  index.SetManifest(std::move(manifest));
+  return index;
 }
 
 void Index::SaveFile(const std::string& path) const {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "pll/label_store.hpp"
+#include "pll/manifest.hpp"
 
 namespace parapll::pll {
 
@@ -41,7 +42,15 @@ class Index {
     return rank_of_[v];
   }
 
-  // Binary round-trip: Save |> Load == *this.
+  // Build provenance (see pll/manifest.hpp). Indexes built through the
+  // unified pipeline carry a populated manifest; a default-constructed
+  // one means "unknown provenance" (hand-assembled or legacy file).
+  [[nodiscard]] const BuildManifest& Manifest() const { return manifest_; }
+  void SetManifest(BuildManifest manifest) { manifest_ = std::move(manifest); }
+
+  // Binary round-trip: Save |> Load == *this. Save writes the manifest in
+  // front of the store; Load accepts both that layout and the legacy
+  // manifest-less one (default manifest attached).
   void Save(std::ostream& out) const;
   static Index Load(std::istream& in);
   void SaveFile(const std::string& path) const;
@@ -53,6 +62,7 @@ class Index {
   LabelStore store_;                        // rank space
   std::vector<graph::VertexId> order_;      // rank -> original id
   std::vector<graph::VertexId> rank_of_;    // original id -> rank
+  BuildManifest manifest_;
 };
 
 }  // namespace parapll::pll

@@ -35,6 +35,19 @@ std::size_t MutableLabels::TotalEntries() const {
   return total;
 }
 
+std::vector<std::vector<LabelEntry>> MutableLabels::SnapshotRows(
+    graph::VertexId limit) const {
+  std::vector<std::vector<LabelEntry>> out(rows_.size());
+  for (std::size_t v = 0; v < rows_.size(); ++v) {
+    for (const LabelEntry& e : rows_[v]) {
+      if (e.hub < limit) {
+        out[v].push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
 namespace {
 constexpr LabelEntry kRowSentinel{graph::kInvalidVertex,
                                   graph::kInfiniteDistance};
@@ -77,6 +90,16 @@ LabelStore LabelStore::FromMutable(const MutableLabels& labels) {
     rows.push_back(labels.Row(v));
   }
   return FromRows(std::move(rows));
+}
+
+std::vector<std::vector<LabelEntry>> LabelStore::ToRows() const {
+  std::vector<std::vector<LabelEntry>> rows;
+  rows.reserve(NumVertices());
+  for (graph::VertexId v = 0; v < NumVertices(); ++v) {
+    const auto row = Row(v);
+    rows.emplace_back(row.begin(), row.end());
+  }
+  return rows;
 }
 
 double LabelStore::AvgLabelSize() const {

@@ -114,6 +114,12 @@ class MutableLabels {
  public:
   explicit MutableLabels(graph::VertexId n) : rows_(n) {}
 
+  // Seeded construction: resume a build from previously finalized rows
+  // (see build/checkpoint.hpp). Rows must already be hub-sorted; appends
+  // continue with higher-ranked hubs, so rows stay sorted.
+  explicit MutableLabels(std::vector<std::vector<LabelEntry>> rows)
+      : rows_(std::move(rows)) {}
+
   [[nodiscard]] graph::VertexId NumVertices() const {
     return static_cast<graph::VertexId>(rows_.size());
   }
@@ -137,6 +143,12 @@ class MutableLabels {
   }
 
   [[nodiscard]] std::size_t TotalEntries() const;
+
+  // Copy of every row keeping only entries with hub < limit — the
+  // "finalized prefix" a checkpoint persists (hubs >= limit may belong
+  // to roots still in flight in a parallel build).
+  [[nodiscard]] std::vector<std::vector<LabelEntry>> SnapshotRows(
+      graph::VertexId limit) const;
 
  private:
   std::vector<std::vector<LabelEntry>> rows_;
@@ -183,6 +195,10 @@ class LabelStore {
   [[nodiscard]] std::size_t TotalEntries() const {
     return entries_.size() - NumVertices();
   }
+
+  // Per-vertex rows without sentinels (hub-sorted) — the inverse of
+  // FromRows, used to seed a resumed build from a checkpoint.
+  [[nodiscard]] std::vector<std::vector<LabelEntry>> ToRows() const;
 
   // "LN" in the paper's tables: average label entries per vertex.
   [[nodiscard]] double AvgLabelSize() const;

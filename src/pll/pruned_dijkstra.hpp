@@ -47,6 +47,18 @@ struct PruneStats {
   std::size_t relaxations = 0;    // edges examined
   std::size_t heap_pushes = 0;
   std::size_t probe_entries = 0;  // label entries touched by pruning tests
+
+  PruneStats& operator+=(const PruneStats& other) {
+    settled += other.settled;
+    pruned += other.pruned;
+    labels_added += other.labels_added;
+    relaxations += other.relaxations;
+    heap_pushes += other.heap_pushes;
+    probe_entries += other.probe_entries;
+    return *this;
+  }
+
+  friend bool operator==(const PruneStats&, const PruneStats&) = default;
 };
 
 // Reusable per-worker scratch: the "several arrays of length |V| within

@@ -30,11 +30,10 @@ struct SerialBuildResult {
   std::vector<PruneStats> trace;
 };
 
-// Runs Pruned Dijkstra from every vertex in ranking order.
+// Runs Pruned Dijkstra from every vertex in ranking order. Implemented as
+// a wrapper over the unified pipeline (build/pipeline.hpp): serial is the
+// one-worker case of the shared root loop.
 SerialBuildResult BuildSerial(const graph::Graph& g,
                               const SerialBuildOptions& options = {});
-
-// Accumulates `increment` into `total` field-by-field.
-void Accumulate(PruneStats& total, const PruneStats& increment);
 
 }  // namespace parapll::pll

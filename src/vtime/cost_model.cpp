@@ -1,6 +1,7 @@
 #include "vtime/cost_model.hpp"
 
-#include "pll/serial_pll.hpp"
+// CalibrateSecondsPerUnit lives in build/compat.cpp: it runs BuildSerial,
+// which now sits on the unified pipeline above this library in link order.
 
 namespace parapll::vtime {
 
@@ -10,16 +11,6 @@ double CostModel::Units(const pll::PruneStats& stats) const {
          push * static_cast<double>(stats.heap_pushes) +
          probe * static_cast<double>(stats.probe_entries) +
          append * static_cast<double>(stats.labels_added);
-}
-
-double CalibrateSecondsPerUnit(const graph::Graph& g, const CostModel& model) {
-  pll::SerialBuildOptions options;
-  const pll::SerialBuildResult result = pll::BuildSerial(g, options);
-  const double units = model.Units(result.totals);
-  if (units <= 0.0) {
-    return 0.0;
-  }
-  return result.indexing_seconds / units;
 }
 
 }  // namespace parapll::vtime

@@ -61,7 +61,9 @@ TEST_P(ConcurrentStoreModes, ConcurrentReadersDuringWrites) {
     });
   }
   threads.emplace_back([&store, &stop, &reads] {
-    while (!stop.load(std::memory_order_relaxed)) {
+    // do-while: at least one full read pass even if the writers finish
+    // (and `stop` is raised) before this thread is first scheduled.
+    do {
       for (graph::VertexId v = 0; v < 8; ++v) {
         graph::Distance previous = 0;
         store.ForEach(v, [&](graph::VertexId, graph::Distance dist) {
@@ -71,7 +73,7 @@ TEST_P(ConcurrentStoreModes, ConcurrentReadersDuringWrites) {
         });
         ++reads;
       }
-    }
+    } while (!stop.load(std::memory_order_relaxed));
   });
   for (std::size_t t = 0; t < kWriters; ++t) {
     threads[t].join();

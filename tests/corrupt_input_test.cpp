@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "build/pipeline.hpp"
 #include "cluster/wire.hpp"
 #include "graph/generators.hpp"
 #include "parapll/parallel_indexer.hpp"
@@ -294,6 +295,102 @@ TEST(Saturation, PrunedDijkstraDoesNotPruneOnWrappedSum) {
   EXPECT_EQ(stats.labels_added, 2u);
   ASSERT_EQ(labels.Row(0).size(), 2u);
   EXPECT_EQ(labels.Row(0).back(), (LabelEntry{1, 5}));
+}
+
+// Build-manifest hardening. An IndexArtifact's bytes open with the
+// manifest (magic, version, identity, knobs, cursor); every corruption of
+// that header must be a recoverable std::runtime_error, and a
+// pre-manifest stream (raw store + order) must still load with default
+// provenance.
+//
+// Serialized manifest layout (see pll/manifest.cpp):
+//   [0, 8)    magic "PPManft1"
+//   [8, 12)   format_version (u32)
+//   [12, 20)  graph_fingerprint (u64)
+//   [20, 28)  num_vertices (u64)
+//   [28, 36)  num_edges (u64)
+//   [36, ...) mode/ordering/policy (u32 length + bytes each)
+//   then      threads/nodes/sync (u32 each), seed (u64), roots_completed
+constexpr std::size_t kManifestVersion = 8;
+constexpr std::size_t kManifestModeLen = 36;
+
+pll::Index MakeManifestedIndex() {
+  const graph::Graph g =
+      graph::ErdosRenyi(24, 60, {graph::WeightModel::kUniform, 10}, 6);
+  return build::Run(g, {}).artifact.index;
+}
+
+// Byte offset of roots_completed, walking the three length-prefixed names.
+std::size_t RootsCursorOffset(const std::string& bytes) {
+  std::size_t pos = kManifestModeLen;
+  for (int name = 0; name < 3; ++name) {
+    pos += sizeof(std::uint32_t) + Peek<std::uint32_t>(bytes, pos);
+  }
+  return pos + 3 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+}
+
+TEST(CorruptManifest, RoundTripPreservesProvenance) {
+  const pll::Index index = MakeManifestedIndex();
+  const pll::Index loaded = LoadIndexBytes(IndexBytes(index));
+  EXPECT_EQ(loaded.Manifest(), index.Manifest());
+  EXPECT_EQ(loaded.Manifest().mode, "serial");
+  EXPECT_TRUE(loaded.Manifest().IsComplete());
+}
+
+TEST(CorruptManifest, BadMagicFallsThroughAndThrows) {
+  // A broken manifest magic demotes the stream to the legacy layout, whose
+  // store parser must then reject the garbage — corrupt in, error out.
+  std::string bytes = IndexBytes(MakeManifestedIndex());
+  bytes[0] ^= 0x5a;
+  EXPECT_THROW(LoadIndexBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptManifest, VersionMismatchThrows) {
+  std::string bytes = IndexBytes(MakeManifestedIndex());
+  Patch<std::uint32_t>(bytes, kManifestVersion,
+                       pll::BuildManifest::kFormatVersion + 1);
+  EXPECT_THROW(LoadIndexBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptManifest, OversizedNameLengthThrows) {
+  std::string bytes = IndexBytes(MakeManifestedIndex());
+  Patch<std::uint32_t>(bytes, kManifestModeLen, 1000);  // cap is 64
+  EXPECT_THROW(LoadIndexBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptManifest, CursorBeyondVertexCountThrows) {
+  const pll::Index index = MakeManifestedIndex();
+  std::string bytes = IndexBytes(index);
+  Patch<std::uint64_t>(bytes, RootsCursorOffset(bytes),
+                       index.NumVertices() + 100);
+  EXPECT_THROW(LoadIndexBytes(bytes), std::runtime_error);
+}
+
+TEST(CorruptManifest, EveryManifestTruncationThrows) {
+  const pll::Index index = MakeManifestedIndex();
+  const std::string bytes = IndexBytes(index);
+  std::ostringstream manifest_out(std::ios::binary);
+  index.Manifest().Serialize(manifest_out);
+  const std::size_t manifest_size = manifest_out.str().size();
+  // Cut inside the manifest (past the magic, so the manifest parser — not
+  // the legacy fallback — sees the truncation).
+  for (std::size_t len = 8; len < manifest_size; ++len) {
+    EXPECT_THROW(LoadIndexBytes(bytes.substr(0, len)), std::runtime_error)
+        << "manifest prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(CorruptManifest, LegacyStreamWithoutManifestStillLoads) {
+  const pll::Index index = MakeManifestedIndex();
+  const std::string bytes = IndexBytes(index);
+  std::ostringstream manifest_out(std::ios::binary);
+  index.Manifest().Serialize(manifest_out);
+  // Strip the manifest: what remains is the pre-manifest store + order
+  // layout old index files use.
+  const pll::Index loaded =
+      LoadIndexBytes(bytes.substr(manifest_out.str().size()));
+  EXPECT_EQ(loaded.Manifest(), pll::BuildManifest{});
+  EXPECT_EQ(loaded.Store(), index.Store());
 }
 
 // Worker scratch construction is O(|V|) and happens before the first root

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Perf-trajectory snapshot: builds a fixed seeded graph with the parallel
+# indexer and measures batched query throughput, then emits both numbers
+# as BENCH_4.json so successive commits have comparable data points.
+#
+# Usage: bench_snapshot.sh <path-to-parapll_cli> [out.json]
+set -eu
+
+CLI="$1"
+OUT="${2:-BENCH_4.json}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Fixed workload: Epinions at scale 0.2, seed 7 — large enough that the
+# build takes real time, small enough for a CI minute.
+"$CLI" generate --dataset Epinions --scale 0.2 --seed 7 --out "$WORK/g.txt"
+
+"$CLI" build --graph "$WORK/g.txt" --mode parallel --threads 4 \
+  --out "$WORK/g.index" --metrics-json "$WORK/build_metrics.json" \
+  >/dev/null
+
+"$CLI" query-bench --index "$WORK/g.index" --pairs 200000 --threads 4 \
+  --seed 7 >"$WORK/qbench.txt"
+cat "$WORK/qbench.txt"
+
+python3 - "$WORK/build_metrics.json" "$WORK/qbench.txt" "$OUT" <<'EOF'
+import json
+import re
+import sys
+
+metrics_path, qbench_path, out_path = sys.argv[1:4]
+
+with open(metrics_path) as fh:
+    metrics = json.load(fh)
+gauges = metrics.get("gauges", metrics)
+build_seconds = gauges["indexer.wall_seconds"]
+
+with open(qbench_path) as fh:
+    qbench = fh.read()
+batched = re.search(r"batched:.*\(([0-9.]+) Mq/s", qbench)
+per_call = re.search(r"per-call:.*\(([0-9.]+) Mq/s", qbench)
+if batched is None or per_call is None:
+    sys.exit("query-bench output missing throughput lines")
+
+snapshot = {
+    "bench": "parapll_pr4_snapshot",
+    "workload": {
+        "dataset": "Epinions",
+        "scale": 0.2,
+        "seed": 7,
+        "build_threads": 4,
+        "query_pairs": 200000,
+        "query_threads": 4,
+    },
+    "parallel_build_seconds": build_seconds,
+    "batched_query_mqps": float(batched.group(1)),
+    "per_call_query_mqps": float(per_call.group(1)),
+}
+with open(out_path, "w") as fh:
+    json.dump(snapshot, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {out_path}: build {build_seconds:.3f}s, "
+      f"batched {batched.group(1)} Mq/s")
+EOF

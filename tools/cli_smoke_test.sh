@@ -26,6 +26,19 @@ printf '1 2\n3 4\n' | "$CLI" query --index "$WORK/g.zindex" --compact \
 "$CLI" verify --index "$WORK/g.zindex" --compact --graph "$WORK/g.txt" \
   --pairs 400
 
+# Checkpoint -> resume round trip: a halted build must leave a resumable
+# checkpoint, and the resumed build must produce a complete index that
+# verifies against Dijkstra (query equality, not entry-count equality).
+"$CLI" build --graph "$WORK/g.txt" --mode parallel --threads 4 \
+  --halt-after 40 --checkpoint-dir "$WORK/ckpt" --checkpoint-every 10 \
+  --out "$WORK/partial.index" | grep -q '^halted after '
+"$CLI" stats --index "$WORK/partial.index" | grep -q '"complete":false'
+"$CLI" build --graph "$WORK/g.txt" --mode parallel --threads 4 \
+  --resume "$WORK/ckpt" --out "$WORK/resumed.index"
+"$CLI" stats --index "$WORK/resumed.index" | grep -q '"complete":true'
+"$CLI" verify --index "$WORK/resumed.index" --graph "$WORK/g.txt" \
+  --pairs 400
+
 # Telemetry: a fast-sampling build must leave >= 2 JSONL samples carrying
 # process stats and the registry (the periodic loop plus the final one).
 # Larger graph so the build outlasts a few 1ms sampling periods.

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "build/checkpoint.hpp"
 #include "core/parapll.hpp"
 #include "util/cli.hpp"
 
@@ -37,6 +38,11 @@ int Usage() {
       "  build    --graph FILE --mode serial|parallel|simulated|cluster\n"
       "           --threads P --nodes Q --sync C --policy static|dynamic\n"
       "           --out FILE [--compact]\n"
+      "           [--checkpoint-dir D [--checkpoint-every K]] write a\n"
+      "           resumable snapshot to D/checkpoint.bin every K roots\n"
+      "           (and on SIGINT/SIGTERM); serial/parallel modes only\n"
+      "           [--resume D] continue the build checkpointed in D\n"
+      "           [--halt-after N] stop after N roots (testing hook)\n"
       "  query    --index FILE [--compact] [-s S -t T]  (else stdin pairs)\n"
       "  stats    --index FILE [--compact]\n"
       "  verify   --index FILE [--compact] --graph FILE --pairs N\n"
@@ -102,7 +108,13 @@ int CmdBuild(util::ArgParser& args) {
       .Policy(args.GetString("policy") == "static"
                   ? parallel::AssignmentPolicy::kStatic
                   : parallel::AssignmentPolicy::kDynamic)
-      .Seed(static_cast<std::uint64_t>(args.GetInt("seed")));
+      .Seed(static_cast<std::uint64_t>(args.GetInt("seed")))
+      .CheckpointDir(args.GetString("checkpoint-dir"))
+      .CheckpointEvery(static_cast<graph::VertexId>(
+          std::max<std::int64_t>(args.GetInt("checkpoint-every"), 0)))
+      .ResumeFrom(args.GetString("resume"))
+      .HaltAfterRoots(static_cast<graph::VertexId>(
+          std::max<std::int64_t>(args.GetInt("halt-after"), 0)));
 
   BuildReport report;
   const pll::Index index = builder.Build(g, &report);
@@ -129,11 +141,21 @@ int CmdBuild(util::ArgParser& args) {
   } else {
     index.SaveFile(out);
   }
-  std::printf("indexed n=%u in %s: LN=%.1f, %zu entries -> %s\n",
-              g.NumVertices(),
-              util::FormatDuration(report.indexing_seconds).c_str(),
-              report.avg_label_size, report.total_label_entries,
-              out.c_str());
+  if (report.complete) {
+    std::printf("indexed n=%u in %s: LN=%.1f, %zu entries -> %s\n",
+                g.NumVertices(),
+                util::FormatDuration(report.indexing_seconds).c_str(),
+                report.avg_label_size, report.total_label_entries,
+                out.c_str());
+  } else {
+    std::printf(
+        "halted after %llu/%u roots in %s: %zu finalized entries -> %s "
+        "(resume with --resume)\n",
+        static_cast<unsigned long long>(report.roots_completed),
+        g.NumVertices(),
+        util::FormatDuration(report.indexing_seconds).c_str(),
+        report.total_label_entries, out.c_str());
+  }
   return 0;
 }
 
@@ -177,6 +199,9 @@ int CmdStats(util::ArgParser& args) {
   std::printf("compact size:    %.2f MB\n",
               static_cast<double>(pll::CompactSizeBytes(index.Store())) /
                   (1024.0 * 1024.0));
+  if (!(index.Manifest() == pll::BuildManifest{})) {
+    std::printf("manifest:        %s\n", index.Manifest().ToJson().c_str());
+  }
   return 0;
 }
 
@@ -318,6 +343,11 @@ int main(int argc, char** argv) {
       .Flag("nodes", "1", "cluster nodes (build)")
       .Flag("sync", "16", "cluster sync count (build)")
       .Flag("policy", "dynamic", "assignment policy (build)")
+      .Flag("checkpoint-dir", "", "resumable snapshot directory (build)")
+      .Flag("checkpoint-every", "0",
+            "snapshot every K finished roots (build; 0 = signal-only)")
+      .Flag("resume", "", "continue from checkpoint directory (build)")
+      .Flag("halt-after", "0", "stop after N roots, 0 = run all (build)")
       .Flag("compact", "false", "use varint index format")
       .Flag("pairs", "500", "pair count (verify/query-bench)")
       .Flag("pair-file", "", "file of 's t' pairs (query-bench)")
@@ -411,8 +441,17 @@ int main(int argc, char** argv) {
     }
     return ok;
   };
-  // ^C on a long build still writes metrics/telemetry before exiting.
-  obs::ScopedSignalFlush signal_flush([&flush_obs] { flush_obs(); });
+  // ^C on a long build snapshots any checkpointing build at its current
+  // frontier (resumable with --resume) and still writes metrics/telemetry
+  // before exiting.
+  obs::ScopedSignalFlush signal_flush([&flush_obs] {
+    try {
+      build::SnapshotActiveBuilds();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "checkpoint flush failed: %s\n", e.what());
+    }
+    flush_obs();
+  });
   try {
     int code = 1;
     if (command == "generate") {
