@@ -8,7 +8,7 @@
 // baseline. Every batched distance is checked against Index::Query; a
 // mismatch aborts the bench (batching must never change answers).
 //
-//   bench_query_throughput --n 100000 --deg 4 --pairs 500000 \
+//   bench_query_throughput --n 100000 --deg 4 --pairs 500000
 //       --threads 1,2,4,8 --batch 8192 [--metrics-json m.json]
 #include <cstdio>
 #include <fstream>

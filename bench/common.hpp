@@ -9,13 +9,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/parapll.hpp"
 #include "util/cli.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::bench {
 
@@ -77,7 +78,7 @@ class ObsSession {
   // Idempotent: runs once whether called by the destructor or by the
   // signal watcher thread racing it.
   void FlushNow() {
-    std::lock_guard<std::mutex> lock(flush_mutex_);
+    util::MutexLock lock(flush_mutex_);
     if (flushed_) {
       return;
     }
@@ -121,8 +122,8 @@ class ObsSession {
   std::optional<obs::TelemetrySampler> sampler_;
   std::optional<obs::StatsServer> server_;
   std::optional<obs::ScopedSignalFlush> signal_flush_;
-  std::mutex flush_mutex_;
-  bool flushed_ = false;
+  util::Mutex flush_mutex_;
+  bool flushed_ GUARDED_BY(flush_mutex_) = false;
 };
 
 struct BenchDataset {

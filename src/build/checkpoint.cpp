@@ -8,6 +8,8 @@
 #include "build/artifact.hpp"
 #include "obs/metrics.hpp"
 #include "pll/index.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace parapll::build {
@@ -16,8 +18,8 @@ namespace {
 
 // Live checkpointers, for the signal-flush path. A build registers at
 // most one; the vector form keeps nested builds (tests) correct.
-std::mutex g_active_mutex;
-std::vector<Checkpointer*> g_active;
+util::Mutex g_active_mutex;
+std::vector<Checkpointer*> g_active GUARDED_BY(g_active_mutex);
 
 }  // namespace
 
@@ -39,12 +41,12 @@ Checkpointer::Checkpointer(CheckpointOptions options,
     throw std::runtime_error("error: cannot create checkpoint directory " +
                              options_.dir + ": " + ec.message());
   }
-  std::lock_guard<std::mutex> lock(g_active_mutex);
+  util::MutexLock lock(g_active_mutex);
   g_active.push_back(this);
 }
 
 Checkpointer::~Checkpointer() {
-  std::lock_guard<std::mutex> lock(g_active_mutex);
+  util::MutexLock lock(g_active_mutex);
   std::erase(g_active, this);
 }
 
@@ -53,19 +55,19 @@ std::string Checkpointer::FilePath() const {
 }
 
 std::size_t Checkpointer::SnapshotsWritten() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return snapshots_;
 }
 
 graph::VertexId Checkpointer::LastFrontier() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return frontier_;
 }
 
 void Checkpointer::OnRootFinished(graph::VertexId frontier,
                                   const pll::PruneStats& stats,
                                   double wall_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   frontier_ = frontier;
   totals_ += stats;
   wall_seconds_ = wall_seconds;
@@ -77,7 +79,7 @@ void Checkpointer::OnRootFinished(graph::VertexId frontier,
 }
 
 void Checkpointer::Snapshot() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   SnapshotLocked();
   finished_since_snapshot_ = 0;
 }
@@ -110,7 +112,7 @@ void Checkpointer::SnapshotLocked() {
 void SnapshotActiveBuilds() {
   std::vector<Checkpointer*> active;
   {
-    std::lock_guard<std::mutex> lock(g_active_mutex);
+    util::MutexLock lock(g_active_mutex);
     active = g_active;
   }
   for (Checkpointer* checkpointer : active) {

@@ -21,13 +21,14 @@
 
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/types.hpp"
 #include "pll/label_store.hpp"
 #include "pll/manifest.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::build {
 
@@ -72,21 +73,24 @@ class Checkpointer {
   [[nodiscard]] graph::VertexId LastFrontier() const;
 
  private:
-  void SnapshotLocked();
+  void SnapshotLocked() REQUIRES(mutex_);
 
+  // Ctor-only, then read-only.
   CheckpointOptions options_;
   pll::BuildManifest manifest_;
   std::vector<graph::VertexId> order_;
   SnapshotRowsFn rows_;
 
-  mutable std::mutex mutex_;
-  graph::VertexId frontier_ = 0;
-  pll::PruneStats totals_;           // this run's roots only
-  pll::PruneStats seed_totals_;      // carried over from a resumed run
-  double wall_seconds_ = 0.0;
-  double seed_wall_seconds_ = 0.0;
-  graph::VertexId finished_since_snapshot_ = 0;
-  std::size_t snapshots_ = 0;
+  mutable util::Mutex mutex_;
+  graph::VertexId frontier_ GUARDED_BY(mutex_) = 0;
+  // This run's roots only.
+  pll::PruneStats totals_ GUARDED_BY(mutex_);
+  // Carried over from a resumed run; ctor-only, then read-only.
+  pll::PruneStats seed_totals_;
+  double wall_seconds_ GUARDED_BY(mutex_) = 0.0;
+  double seed_wall_seconds_ = 0.0;  // ctor-only, then read-only
+  graph::VertexId finished_since_snapshot_ GUARDED_BY(mutex_) = 0;
+  std::size_t snapshots_ GUARDED_BY(mutex_) = 0;
 };
 
 // Snapshot every live Checkpointer. Wired into the CLI's signal-flush

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <ctime>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -18,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "parapll/concurrent_label_store.hpp"
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 #include "vtime/timestamped_labels.hpp"
 
@@ -232,8 +232,8 @@ pll::LabelStore RunCluster(const BuildPlan& plan, const BuildContext& context,
 
   cluster::Fabric fabric(q);
   std::vector<NodeOutcome> outcomes(q);
-  std::size_t entries_exchanged_total = 0;
-  std::mutex exchange_mutex;
+  std::size_t entries_exchanged_total = 0;  // guarded by exchange_mutex
+  util::Mutex exchange_mutex;
   util::WallTimer wall;
 
   fabric.Run([&](cluster::Communicator& comm) {
@@ -306,7 +306,7 @@ pll::LabelStore RunCluster(const BuildPlan& plan, const BuildContext& context,
       node.compute_units += merge_units;
       pending.clear();
       if (r == 0) {
-        std::lock_guard<std::mutex> lock(exchange_mutex);
+        util::MutexLock lock(exchange_mutex);
         entries_exchanged_total += total_entries;
       }
       if (obs::MetricsEnabled()) {

@@ -24,7 +24,6 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
@@ -39,6 +38,7 @@
 #include "parapll/parallel_indexer.hpp"
 #include "pll/pruned_dijkstra.hpp"
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 #include "vtime/cost_model.hpp"
 
@@ -108,8 +108,10 @@ RootLoopOutcome DrainRoots(const graph::Graph& rank_graph, Labels& labels,
 
   // Checkpoint frontier bookkeeping, maintained only when asked for:
   // claimed-but-unfinished roots under a mutex (touched once per root,
-  // which a Dijkstra run dwarfs).
-  std::mutex inflight_mutex;
+  // which a Dijkstra run dwarfs). GUARDED_BY is a member attribute, so for
+  // this local the discipline is by construction: every `inflight` touch
+  // below sits inside a MutexLock(inflight_mutex) block.
+  util::Mutex inflight_mutex;
   std::set<graph::VertexId> inflight;
 
   // Claim budget for the halt hook. Signed so that once it goes negative
@@ -133,6 +135,8 @@ RootLoopOutcome DrainRoots(const graph::Graph& rank_graph, Labels& labels,
     util::WallTimer thread_wall;
     util::AccumulatingTimer busy;
     for (;;) {
+      // relaxed: the budget is an independent countdown; atomicity alone
+      // ensures at most halt_after_roots claims succeed.
       if (options.halt_after_roots != 0 &&
           claim_budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {
         break;
@@ -142,7 +146,7 @@ RootLoopOutcome DrainRoots(const graph::Graph& rank_graph, Labels& labels,
         // Claim and registration must be atomic together: a root that is
         // claimed but not yet in `inflight` would be invisible to the
         // frontier and could be snapshotted as "finished".
-        std::lock_guard<std::mutex> lock(inflight_mutex);
+        util::MutexLock lock(inflight_mutex);
         root = scheduler.Claim(t);
         if (root != graph::kInvalidVertex) {
           inflight.insert(root);
@@ -160,6 +164,8 @@ RootLoopOutcome DrainRoots(const graph::Graph& rank_graph, Labels& labels,
       totals[t] += stats;
       ++outcome.reports[t].roots_processed;
       if (metrics) {
+        // relaxed (both): independent progress tallies feeding gauges; no
+        // other data is published through them.
         const auto done =
             roots_done.fetch_add(1, std::memory_order_relaxed) + 1;
         const auto added = labels_added.fetch_add(stats.labels_added,
@@ -176,6 +182,8 @@ RootLoopOutcome DrainRoots(const graph::Graph& rank_graph, Labels& labels,
                        static_cast<double>(done));
       }
       if (options.record_trace) {
+        // relaxed: the fetch_add's atomicity makes slots unique; the join
+        // below is the synchronization point before trace is read.
         const std::size_t slot =
             trace_cursor.fetch_add(1, std::memory_order_relaxed);
         outcome.trace[slot] = {root, stats};
@@ -183,7 +191,7 @@ RootLoopOutcome DrainRoots(const graph::Graph& rank_graph, Labels& labels,
       if (checkpointer != nullptr) {
         graph::VertexId frontier;
         {
-          std::lock_guard<std::mutex> lock(inflight_mutex);
+          util::MutexLock lock(inflight_mutex);
           inflight.erase(root);
           frontier = scheduler.LowerBound();
           if (!inflight.empty()) {
@@ -220,7 +228,8 @@ RootLoopOutcome DrainRoots(const graph::Graph& rank_graph, Labels& labels,
         static_cast<graph::VertexId>(report.roots_processed);
   }
   if (options.record_trace) {
-    // A halted loop fills fewer slots than roots_total.
+    // A halted loop fills fewer slots than roots_total. relaxed: workers
+    // have been joined, so the cursor is quiescent.
     outcome.trace.resize(trace_cursor.load(std::memory_order_relaxed));
   }
   return outcome;

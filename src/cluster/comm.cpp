@@ -43,15 +43,15 @@ void Fabric::Deliver(std::size_t dst, Message message) {
   PARAPLL_CHECK(dst < mailboxes_.size());
   Mailbox& box = mailboxes_[dst];
   {
-    std::lock_guard<std::mutex> lock(box.mutex);
+    util::MutexLock lock(box.mutex);
     box.messages.push_back(std::move(message));
   }
-  box.arrived.notify_all();
+  box.arrived.NotifyAll();
 }
 
 Payload Fabric::Take(std::size_t rank, std::size_t src, int tag) {
   Mailbox& box = mailboxes_[rank];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  util::MutexLock lock(box.mutex);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if (it->src == src && it->tag == tag) {
@@ -60,7 +60,7 @@ Payload Fabric::Take(std::size_t rank, std::size_t src, int tag) {
         return payload;
       }
     }
-    box.arrived.wait(lock);
+    box.arrived.Wait(box.mutex);
   }
 }
 

@@ -9,12 +9,13 @@
 // report communication volume.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::cluster {
 
@@ -93,15 +94,17 @@ class Fabric {
   };
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable arrived;
-    std::deque<Message> messages;
+    util::Mutex mutex;
+    util::CondVar arrived;
+    std::deque<Message> messages GUARDED_BY(mutex);
   };
 
   void Deliver(std::size_t dst, Message message);
   Payload Take(std::size_t rank, std::size_t src, int tag);
 
   std::vector<Mailbox> mailboxes_;
+  // Accumulated by Run() after joining its rank threads; reads race only
+  // with a concurrent Run(), which the API already forbids.
   std::uint64_t total_bytes_sent_ = 0;
   std::uint64_t total_messages_sent_ = 0;
 };

@@ -107,6 +107,9 @@ StatsServer::~StatsServer() { Stop(); }
 #ifdef PARAPLL_HAVE_SOCKETS
 
 void StatsServer::Start() {
+  util::MutexLock lock(mutex_);
+  // acquire: pairs with the release in a finished Start() (see below);
+  // the lifecycle mutex already serializes concurrent Start/Stop.
   if (running_.load(std::memory_order_acquire)) {
     return;
   }
@@ -132,33 +135,48 @@ void StatsServer::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
   start_ns_ = TraceNowNs();
+  // release: publishes port_/start_ns_ to threads that observe
+  // Running() == true via the acquire load.
   running_.store(true, std::memory_order_release);
-  worker_ = std::thread([this] { Serve(); });
+  worker_ = std::thread([this, fd = listen_fd_] { Serve(fd); });
 }
 
 void StatsServer::Stop() {
+  // acq_rel: exactly one concurrent Stop() wins the exchange (the rest
+  // see false and return), and the winner's subsequent teardown happens
+  // after every write the starting thread published.
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     return;
   }
-  // The accept loop polls with a timeout and re-checks running_, so it
-  // exits within one poll interval; closing the fd afterwards is safe.
-  if (worker_.joinable()) {
-    worker_.join();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
+  // Take the worker handle and fd under the lifecycle lock, then join and
+  // close outside it: the accept loop polls with a timeout and re-checks
+  // running_, so it exits within one poll interval.
+  std::thread worker;
+  int fd = -1;
+  {
+    util::MutexLock lock(mutex_);
+    worker = std::move(worker_);
+    fd = listen_fd_;
     listen_fd_ = -1;
+  }
+  if (worker.joinable()) {
+    worker.join();
+  }
+  if (fd >= 0) {
+    ::close(fd);
   }
 }
 
-void StatsServer::Serve() {
+void StatsServer::Serve(int listen_fd) {
+  // acquire: sees the stores published by Start(); a stale false only
+  // delays shutdown by one 50 ms poll interval.
   while (running_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
+    pollfd pfd{listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
     if (ready <= 0) {
       continue;  // timeout or EINTR: re-check running_
     }
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = ::accept(listen_fd, nullptr, nullptr);
     if (client < 0) {
       continue;
     }
@@ -244,7 +262,7 @@ void StatsServer::Start() {
   throw std::runtime_error("stats server: no socket support on this platform");
 }
 void StatsServer::Stop() {}
-void StatsServer::Serve() {}
+void StatsServer::Serve(int) {}
 void StatsServer::Handle(int) {}
 
 #endif  // PARAPLL_HAVE_SOCKETS

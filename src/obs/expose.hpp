@@ -24,6 +24,8 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::obs {
 
@@ -59,21 +61,34 @@ class StatsServer {
   void Stop();  // idempotent
 
   [[nodiscard]] bool Running() const {
+    // acquire: pairs with the release store in Start() so a caller that
+    // observes true also sees the bound port and start timestamp.
     return running_.load(std::memory_order_acquire);
   }
   // Bound port; valid after Start() (resolves port 0 to the real one).
-  [[nodiscard]] std::uint16_t Port() const { return port_; }
+  [[nodiscard]] std::uint16_t Port() const {
+    util::MutexLock lock(mutex_);
+    return port_;
+  }
 
  private:
-  void Serve();
+  // The accept loop; takes the listening socket by value so it never
+  // touches the guarded listen_fd_ member from the worker thread.
+  void Serve(int listen_fd);
   void Handle(int client_fd);
 
-  StatsServerOptions options_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
+  StatsServerOptions options_;  // written by the ctor only, then read-only
+  // Lifecycle state: Start()/Stop()/Port() all serialize on mutex_, so a
+  // concurrent double-Stop can never close the same fd or join the same
+  // thread twice.
+  mutable util::Mutex mutex_;
+  int listen_fd_ GUARDED_BY(mutex_) = -1;
+  std::uint16_t port_ GUARDED_BY(mutex_) = 0;
+  // Written in Start() before the worker spawns, then read-only (Handle
+  // reads it from the worker thread without the lock).
   std::uint64_t start_ns_ = 0;
   std::atomic<bool> running_{false};
-  std::thread worker_;
+  std::thread worker_ GUARDED_BY(mutex_);
 };
 
 }  // namespace parapll::obs

@@ -16,10 +16,13 @@ std::atomic<bool> g_metrics_enabled{false};
 }  // namespace
 
 bool MetricsEnabled() {
+  // relaxed: independent on/off flag; a stale read only delays when
+  // instrumentation sites notice the toggle.
   return g_metrics_enabled.load(std::memory_order_relaxed);
 }
 
 void SetMetricsEnabled(bool enabled) {
+  // relaxed: see MetricsEnabled.
   g_metrics_enabled.store(enabled, std::memory_order_relaxed);
 }
 
@@ -27,6 +30,7 @@ namespace internal {
 
 std::size_t ThreadSlot() {
   static std::atomic<std::size_t> next{0};
+  // relaxed: a unique ticket is all that is needed; no data is published.
   thread_local const std::size_t slot =
       next.fetch_add(1, std::memory_order_relaxed);
   return slot;
@@ -37,6 +41,7 @@ std::size_t ThreadSlot() {
 std::uint64_t Counter::Value() const {
   std::uint64_t total = 0;
   for (const Shard& shard : shards_) {
+    // relaxed: partial sums; exact only after writers quiesce (contract).
     total += shard.value.load(std::memory_order_relaxed);
   }
   return total;
@@ -44,11 +49,14 @@ std::uint64_t Counter::Value() const {
 
 void Counter::Reset() {
   for (Shard& shard : shards_) {
+    // relaxed: Reset is documented to run while writers are quiesced.
     shard.value.store(0, std::memory_order_relaxed);
   }
 }
 
 void Gauge::Add(double v) {
+  // relaxed CAS loop: the gauge is an independent scalar; the CAS only
+  // needs atomicity of the read-modify-write, not ordering.
   double cur = value_.load(std::memory_order_relaxed);
   while (!value_.compare_exchange_weak(cur, cur + v,
                                        std::memory_order_relaxed)) {
@@ -71,7 +79,10 @@ std::pair<double, double> BucketRange(std::size_t b) {
   return {lo, lo * 2.0 - 1.0};
 }
 
+// relaxed CAS loops: min/max are independent watermarks; only the
+// read-modify-write atomicity matters, not ordering with other data.
 void AtomicMin(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  // relaxed: watermark CAS loop, see the comment above AtomicMin.
   std::uint64_t cur = slot.load(std::memory_order_relaxed);
   while (value < cur &&
          !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
@@ -79,6 +90,7 @@ void AtomicMin(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
 }
 
 void AtomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  // relaxed: see AtomicMin above.
   std::uint64_t cur = slot.load(std::memory_order_relaxed);
   while (value > cur &&
          !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
@@ -122,6 +134,9 @@ double HistogramSnapshot::Quantile(double q) const {
 
 void Histogram::Record(std::uint64_t value) {
   Shard& shard = shards_[internal::ThreadSlot() & (kShards - 1)];
+  // relaxed (all stores below): each shard/bucket is an independent
+  // partial tally merged by Snapshot(); exactness is only promised once
+  // writers have quiesced, so no ordering between the fields is needed.
   shard.count.fetch_add(1, std::memory_order_relaxed);
   shard.sum.fetch_add(value, std::memory_order_relaxed);
   buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
@@ -131,13 +146,17 @@ void Histogram::Record(std::uint64_t value) {
 
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
+  // relaxed (all loads below): merged view of independent tallies; may
+  // mix in-flight Record()s but is exact once writers have quiesced.
   for (const Shard& shard : shards_) {
     snap.count += shard.count.load(std::memory_order_relaxed);
     snap.sum += shard.sum.load(std::memory_order_relaxed);
   }
   for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    // relaxed: independent bucket tallies, as above.
     snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
   }
+  // relaxed (min/max): monotone extremes, exact once writers quiesce.
   const std::uint64_t min = min_.load(std::memory_order_relaxed);
   snap.min = (snap.count == 0 || min == UINT64_MAX) ? 0 : min;
   snap.max = max_.load(std::memory_order_relaxed);
@@ -145,13 +164,17 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 void Histogram::Reset() {
+  // relaxed (all stores below): zeroing independent tallies; callers are
+  // expected to quiesce writers first, same as Counter::Reset.
   for (Shard& shard : shards_) {
     shard.count.store(0, std::memory_order_relaxed);
     shard.sum.store(0, std::memory_order_relaxed);
   }
   for (auto& bucket : buckets_) {
+    // relaxed: zeroing independent tallies, as above.
     bucket.store(0, std::memory_order_relaxed);
   }
+  // relaxed (min/max): re-arming the extremes under quiesced writers.
   min_.store(UINT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
 }
@@ -162,7 +185,7 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -172,7 +195,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 }
 
 Gauge& Registry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -181,7 +204,7 @@ Gauge& Registry::GetGauge(std::string_view name) {
 }
 
 Histogram& Registry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -191,7 +214,7 @@ Histogram& Registry::GetHistogram(std::string_view name) {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }
@@ -204,7 +227,7 @@ void Registry::Reset() {
 }
 
 RegistrySnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   RegistrySnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace(name, counter->Value());
@@ -219,7 +242,7 @@ RegistrySnapshot Registry::Snapshot() const {
 }
 
 std::string Registry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::ostringstream out;
   util::JsonWriter w(out);
   w.BeginObject();

@@ -29,9 +29,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::obs {
 
@@ -50,6 +52,8 @@ class Counter {
   static constexpr std::size_t kShards = 64;
 
   void Add(std::uint64_t n = 1) {
+    // relaxed: each shard is an independent partial sum; Value() merges
+    // them and exactness is only promised once writers have quiesced.
     shards_[internal::ThreadSlot() & (kShards - 1)].value.fetch_add(
         n, std::memory_order_relaxed);
   }
@@ -69,11 +73,15 @@ class Counter {
 // Last-written floating-point value (plus Add for accumulation).
 class Gauge {
  public:
+  // relaxed (all methods): a gauge is a single independent value with
+  // last-writer-wins semantics; no other data is published through it.
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   void Add(double v);
   [[nodiscard]] double Value() const {
+    // relaxed: see the class comment above.
     return value_.load(std::memory_order_relaxed);
   }
+  // relaxed: see the class comment above.
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
@@ -165,10 +173,16 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable util::Mutex mutex_;
+  // The maps are guarded; the *metrics* they point to are internally
+  // synchronized atomics, so handles returned by Get*() are usable
+  // without the registry lock.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 // Convenience: Registry::Global().ToJson() written to `path`; throws

@@ -17,6 +17,8 @@
 
 #include "obs/trace.hpp"
 #include "util/json.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::obs {
 
@@ -107,14 +109,14 @@ ProbeRegistry& ProbeRegistry::Global() {
 }
 
 std::uint64_t ProbeRegistry::Add(std::string gauge_name, Probe probe) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::uint64_t id = next_id_++;
   entries_.push_back(Entry{id, std::move(gauge_name), std::move(probe)});
   return id;
 }
 
 void ProbeRegistry::Remove(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [id](const Entry& e) { return e.id == id; }),
                  entries_.end());
@@ -125,7 +127,7 @@ void ProbeRegistry::Collect() {
   // deadlock against concurrent Add/Remove from the probed code.
   std::vector<Entry> entries;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     entries = entries_;
   }
   for (const Entry& entry : entries) {
@@ -134,7 +136,7 @@ void ProbeRegistry::Collect() {
 }
 
 std::size_t ProbeRegistry::Size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
@@ -147,7 +149,7 @@ TelemetrySampler::TelemetrySampler(TelemetryOptions options)
 TelemetrySampler::~TelemetrySampler() { Stop(); }
 
 void TelemetrySampler::Start() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (running_) {
     return;
   }
@@ -164,18 +166,23 @@ void TelemetrySampler::Start() {
 }
 
 void TelemetrySampler::Stop() {
+  std::thread worker;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!running_) {
       return;
     }
+    // Flip running_ and take the handle under the lock so a concurrent
+    // second Stop() returns above instead of joining the same thread
+    // twice (which is undefined behavior).
+    running_ = false;
     stop_requested_ = true;
+    worker = std::move(worker_);
   }
-  cv_.notify_all();
-  worker_.join();
+  cv_.NotifyAll();
+  worker.join();
   SampleNow();  // end-state sample: short runs still record their totals
-  std::unique_lock<std::mutex> lock(mutex_);
-  running_ = false;
+  util::MutexLock lock(mutex_);
   if (out_ != nullptr) {
     out_->flush();
     out_.reset();
@@ -183,7 +190,7 @@ void TelemetrySampler::Stop() {
 }
 
 bool TelemetrySampler::Running() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return running_;
 }
 
@@ -198,7 +205,7 @@ TelemetrySample TelemetrySampler::CollectSample() {
 
 TelemetrySample TelemetrySampler::SampleNow() {
   TelemetrySample sample = CollectSample();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   sample.seq = seq_++;
   ring_.push_back(sample);
   while (ring_.size() > options_.ring_capacity) {
@@ -213,21 +220,26 @@ TelemetrySample TelemetrySampler::SampleNow() {
 }
 
 std::vector<TelemetrySample> TelemetrySampler::Samples() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::uint64_t TelemetrySampler::TotalSamples() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return seq_;
 }
 
 void TelemetrySampler::Loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (cv_.wait_for(lock, options_.period,
-                       [this] { return stop_requested_; })) {
+      util::MutexLock lock(mutex_);
+      const auto deadline = std::chrono::steady_clock::now() + options_.period;
+      while (!stop_requested_) {
+        if (cv_.WaitUntil(mutex_, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stop_requested_) {
         return;  // Stop() takes the final sample after the join
       }
     }
@@ -280,10 +292,13 @@ void TelemetrySampler::WriteJsonLine(const TelemetrySample& sample,
 namespace {
 
 struct SignalFlushState {
-  std::mutex mutex;
-  std::uint64_t next_id = 1;
-  std::vector<std::pair<std::uint64_t, std::function<void()>>> callbacks;
-  bool installed = false;
+  util::Mutex mutex;
+  std::uint64_t next_id GUARDED_BY(mutex) = 1;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> callbacks
+      GUARDED_BY(mutex);
+  bool installed GUARDED_BY(mutex) = false;
+  // Written once by InstallOnce() (under mutex) before the watcher thread
+  // and signal handler exist; both then only read them.
   int pipe_fds[2] = {-1, -1};
 };
 
@@ -296,7 +311,7 @@ void RunFlushCallbacks() {
   // Copy so a callback that (indirectly) unregisters does not deadlock.
   std::vector<std::function<void()>> callbacks;
   {
-    std::lock_guard<std::mutex> lock(FlushState().mutex);
+    util::MutexLock lock(FlushState().mutex);
     for (auto& [id, fn] : FlushState().callbacks) {
       callbacks.push_back(fn);
     }
@@ -319,7 +334,7 @@ void SignalHandler(int signo) {
       ::write(FlushState().pipe_fds[1], &byte, 1);
 }
 
-void InstallOnce() {
+void InstallOnce() REQUIRES(FlushState().mutex) {
   SignalFlushState& state = FlushState();
   if (state.installed) {
     return;
@@ -355,7 +370,7 @@ void InstallOnce() {
 
 #else
 
-void InstallOnce() {}
+void InstallOnce() REQUIRES(FlushState().mutex) {}
 
 #endif  // PARAPLL_HAVE_POSIX_SIGNALS
 
@@ -363,7 +378,7 @@ void InstallOnce() {}
 
 std::uint64_t AddSignalFlush(std::function<void()> flush) {
   SignalFlushState& state = FlushState();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  util::MutexLock lock(state.mutex);
   InstallOnce();
   const std::uint64_t id = state.next_id++;
   state.callbacks.emplace_back(id, std::move(flush));
@@ -372,7 +387,7 @@ std::uint64_t AddSignalFlush(std::function<void()> flush) {
 
 void RemoveSignalFlush(std::uint64_t id) {
   SignalFlushState& state = FlushState();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  util::MutexLock lock(state.mutex);
   state.callbacks.erase(
       std::remove_if(state.callbacks.begin(), state.callbacks.end(),
                      [id](const auto& entry) { return entry.first == id; }),

@@ -26,19 +26,19 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <fstream>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::obs {
 
@@ -85,9 +85,9 @@ class ProbeRegistry {
     Probe probe;
   };
 
-  mutable std::mutex mutex_;
-  std::uint64_t next_id_ = 1;
-  std::vector<Entry> entries_;
+  mutable util::Mutex mutex_;
+  std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+  std::vector<Entry> entries_ GUARDED_BY(mutex_);
 };
 
 // RAII probe registration; the probe must stay callable (and thread-safe)
@@ -157,15 +157,18 @@ class TelemetrySampler {
   TelemetrySample CollectSample();
   void Loop();
 
-  TelemetryOptions options_;
-  mutable std::mutex mutex_;  // guards ring_, seq_, out_, running_
-  std::condition_variable cv_;
-  std::thread worker_;
-  bool running_ = false;
-  bool stop_requested_ = false;
-  std::uint64_t seq_ = 0;
-  std::deque<TelemetrySample> ring_;
-  std::unique_ptr<std::ofstream> out_;
+  TelemetryOptions options_;  // written by the ctor only, then read-only
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  // The worker handle is guarded too: Stop() moves it to a local under
+  // the lock, so a concurrent double-Stop can never join the same thread
+  // twice (the loser sees running_ == false and returns).
+  std::thread worker_ GUARDED_BY(mutex_);
+  bool running_ GUARDED_BY(mutex_) = false;
+  bool stop_requested_ GUARDED_BY(mutex_) = false;
+  std::uint64_t seq_ GUARDED_BY(mutex_) = 0;
+  std::deque<TelemetrySample> ring_ GUARDED_BY(mutex_);
+  std::unique_ptr<std::ofstream> out_ GUARDED_BY(mutex_);
 };
 
 // --- flush-on-signal -----------------------------------------------------

@@ -6,24 +6,29 @@
 #include <chrono>
 #include <deque>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::obs {
 
 namespace {
+// relaxed (both accessors): independent on/off flag; a racing toggle only
+// decides whether a concurrent span is recorded, never corrupts state.
 std::atomic<bool> g_tracing_enabled{false};
 }  // namespace
 
 bool TracingEnabled() {
+  // relaxed: independent flag, see g_tracing_enabled above.
   return g_tracing_enabled.load(std::memory_order_relaxed);
 }
 
 void SetTracingEnabled(bool enabled) {
+  // relaxed: independent flag, see g_tracing_enabled above.
   g_tracing_enabled.store(enabled, std::memory_order_relaxed);
 }
 
@@ -36,14 +41,18 @@ std::uint64_t TraceNowNs() {
 }
 
 struct TraceSink::ThreadBuffer {
-  std::uint32_t tid = 0;
-  mutable std::mutex mutex;
-  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;  // assigned once at registration, then read-only
+  mutable util::Mutex mutex;
+  std::vector<TraceEvent> events GUARDED_BY(mutex);
 };
 
 struct TraceSink::Impl {
-  mutable std::mutex registry_mutex;
-  std::deque<ThreadBuffer> buffers;  // deque: stable addresses
+  mutable util::Mutex registry_mutex;
+  // deque: stable addresses. Guards registration and iteration; each
+  // buffer's events are additionally guarded by that buffer's own mutex.
+  std::deque<ThreadBuffer> buffers GUARDED_BY(registry_mutex);
+  // relaxed (all accesses): independent tuning knob / statistic; neither
+  // publishes any other data.
   std::atomic<std::size_t> max_events_per_thread{TraceSink::kDefaultMaxEvents};
   std::atomic<std::uint64_t> dropped{0};
 };
@@ -65,7 +74,7 @@ TraceSink& TraceSink::Global() {
 TraceSink::ThreadBuffer& TraceSink::LocalBuffer() {
   thread_local ThreadBuffer* buffer = [this] {
     Impl* i = impl();
-    std::lock_guard<std::mutex> lock(i->registry_mutex);
+    util::MutexLock lock(i->registry_mutex);
     i->buffers.emplace_back();
     ThreadBuffer& fresh = i->buffers.back();
     fresh.tid = static_cast<std::uint32_t>(i->buffers.size() - 1);
@@ -77,10 +86,12 @@ TraceSink::ThreadBuffer& TraceSink::LocalBuffer() {
 void TraceSink::Record(const TraceEvent& event) {
   Impl* i = impl();
   ThreadBuffer& buffer = LocalBuffer();
+  // relaxed: tuning knob, see Impl.
   const std::size_t cap =
       i->max_events_per_thread.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  util::MutexLock lock(buffer.mutex);
   if (cap != 0 && buffer.events.size() >= cap) {
+    // relaxed: independent statistic, see Impl.
     i->dropped.fetch_add(1, std::memory_order_relaxed);
     static Counter& dropped_counter =
         Registry::Global().GetCounter("trace.dropped_events");
@@ -91,23 +102,26 @@ void TraceSink::Record(const TraceEvent& event) {
 }
 
 void TraceSink::SetMaxEventsPerThread(std::size_t cap) {
+  // relaxed: tuning knob, see Impl.
   impl()->max_events_per_thread.store(cap, std::memory_order_relaxed);
 }
 
 std::size_t TraceSink::MaxEventsPerThread() const {
+  // relaxed: tuning knob, see Impl.
   return impl()->max_events_per_thread.load(std::memory_order_relaxed);
 }
 
 std::uint64_t TraceSink::DroppedEvents() const {
+  // relaxed: independent statistic, see Impl.
   return impl()->dropped.load(std::memory_order_relaxed);
 }
 
 std::size_t TraceSink::EventCount() const {
   const Impl* i = impl();
-  std::lock_guard<std::mutex> lock(i->registry_mutex);
+  util::MutexLock lock(i->registry_mutex);
   std::size_t total = 0;
   for (const ThreadBuffer& buffer : i->buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
+    util::MutexLock buffer_lock(buffer.mutex);
     total += buffer.events.size();
   }
   return total;
@@ -115,22 +129,23 @@ std::size_t TraceSink::EventCount() const {
 
 void TraceSink::Clear() {
   Impl* i = impl();
-  std::lock_guard<std::mutex> lock(i->registry_mutex);
+  util::MutexLock lock(i->registry_mutex);
   for (ThreadBuffer& buffer : i->buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
+    util::MutexLock buffer_lock(buffer.mutex);
     buffer.events.clear();
   }
+  // relaxed: independent statistic, see Impl.
   i->dropped.store(0, std::memory_order_relaxed);
 }
 
 void TraceSink::WriteChromeJson(std::ostream& out) const {
   const Impl* i = impl();
-  std::lock_guard<std::mutex> lock(i->registry_mutex);
+  util::MutexLock lock(i->registry_mutex);
   util::JsonWriter w(out);
   w.BeginObject();
   w.Key("traceEvents").BeginArray();
   for (const ThreadBuffer& buffer : i->buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
+    util::MutexLock buffer_lock(buffer.mutex);
     for (const TraceEvent& e : buffer.events) {
       w.BeginObject();
       w.Key("name").Value(e.name);

@@ -47,10 +47,11 @@ ConcurrentLabelStore::ConcurrentLabelStore(
   for (const auto& row : rows_) {
     bytes += row.capacity() * sizeof(pll::LabelEntry);
   }
+  // relaxed: single-threaded construction; workers start strictly later.
   entry_bytes_.store(bytes, std::memory_order_relaxed);
 }
 
-void ConcurrentLabelStore::LockRow(graph::VertexId v) {
+void ConcurrentLabelStore::LockRow(graph::VertexId v) const {
   if (obs::MetricsEnabled()) {
     LockRowCounted(v);
     return;
@@ -63,6 +64,8 @@ void ConcurrentLabelStore::LockRow(graph::VertexId v) {
       striped_mutexes_[v & (kStripes - 1)].lock();
       break;
     case LockMode::kPerRow:
+      // acquire: pairs with the release in UnlockRow so row contents
+      // written under the spinlock are visible to the next holder.
       while (row_spinlocks_[v].test_and_set(std::memory_order_acquire)) {
         // spin; rows are short and critical sections tiny
       }
@@ -70,7 +73,7 @@ void ConcurrentLabelStore::LockRow(graph::VertexId v) {
   }
 }
 
-void ConcurrentLabelStore::LockRowCounted(graph::VertexId v) {
+void ConcurrentLabelStore::LockRowCounted(graph::VertexId v) const {
   bool contended = false;
   switch (mode_) {
     case LockMode::kGlobal:
@@ -88,6 +91,7 @@ void ConcurrentLabelStore::LockRowCounted(graph::VertexId v) {
       break;
     }
     case LockMode::kPerRow:
+      // acquire: pairs with the release in UnlockRow (see LockRow).
       if (row_spinlocks_[v].test_and_set(std::memory_order_acquire)) {
         contended = true;
         while (row_spinlocks_[v].test_and_set(std::memory_order_acquire)) {
@@ -102,7 +106,7 @@ void ConcurrentLabelStore::LockRowCounted(graph::VertexId v) {
   }
 }
 
-void ConcurrentLabelStore::UnlockRow(graph::VertexId v) {
+void ConcurrentLabelStore::UnlockRow(graph::VertexId v) const {
   switch (mode_) {
     case LockMode::kGlobal:
       global_mutex_.unlock();
@@ -111,6 +115,7 @@ void ConcurrentLabelStore::UnlockRow(graph::VertexId v) {
       striped_mutexes_[v & (kStripes - 1)].unlock();
       break;
     case LockMode::kPerRow:
+      // release: publishes this holder's row writes to the next acquirer.
       row_spinlocks_[v].clear(std::memory_order_release);
       break;
   }
@@ -125,6 +130,8 @@ void ConcurrentLabelStore::Append(graph::VertexId v, graph::VertexId hub,
   const std::size_t after = rows_[v].capacity();
   UnlockRow(v);
   if (after != before) {
+    // relaxed: independent byte counter for the telemetry probe; ordering
+    // relative to the row contents is irrelevant (MemoryBytes may lag).
     entry_bytes_.fetch_add((after - before) * sizeof(pll::LabelEntry),
                            std::memory_order_relaxed);
   }
@@ -144,16 +151,15 @@ pll::LabelStore ConcurrentLabelStore::TakeFinalized() {
 
 std::vector<std::vector<pll::LabelEntry>> ConcurrentLabelStore::SnapshotRows(
     graph::VertexId limit) const {
-  auto* self = const_cast<ConcurrentLabelStore*>(this);
   std::vector<std::vector<pll::LabelEntry>> out(rows_.size());
   for (graph::VertexId v = 0; v < NumVertices(); ++v) {
-    self->LockRow(v);
+    LockRow(v);
     for (const pll::LabelEntry& e : rows_[v]) {
       if (e.hub < limit) {
         out[v].push_back(e);
       }
     }
-    self->UnlockRow(v);
+    UnlockRow(v);
   }
   return out;
 }

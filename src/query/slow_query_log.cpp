@@ -24,6 +24,8 @@ void SlowQueryLog::Observe(graph::VertexId s, graph::VertexId t,
                            graph::Distance distance,
                            std::uint64_t entries_scanned,
                            std::uint64_t latency_ns) {
+  // relaxed: independent statistic / sampling counter; no other data is
+  // published through it.
   const std::uint64_t n = observed_.fetch_add(1, std::memory_order_relaxed) + 1;
   const bool slow = latency_ns >= options_.threshold_ns;
   const bool sampled =
@@ -39,7 +41,7 @@ void SlowQueryLog::Write(graph::VertexId s, graph::VertexId t,
                          graph::Distance distance,
                          std::uint64_t entries_scanned,
                          std::uint64_t latency_ns, const char* reason) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  util::MutexLock lock(write_mutex_);
   util::JsonWriter w(*out_);
   w.BeginObject();
   w.Key("mono_ns").Value(obs::TraceNowNs());
@@ -56,6 +58,7 @@ void SlowQueryLog::Write(graph::VertexId s, graph::VertexId t,
   w.EndObject();
   *out_ << '\n';
   out_->flush();
+  // relaxed: independent statistic, see Records().
   records_.fetch_add(1, std::memory_order_relaxed);
   if (obs::MetricsEnabled()) {
     static obs::Counter& records =
@@ -65,7 +68,7 @@ void SlowQueryLog::Write(graph::VertexId s, graph::VertexId t,
 }
 
 void SlowQueryLog::Flush() {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  util::MutexLock lock(write_mutex_);
   out_->flush();
 }
 

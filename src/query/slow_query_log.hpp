@@ -19,11 +19,12 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 
 #include "graph/types.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::query {
 
@@ -55,10 +56,13 @@ class SlowQueryLog {
                std::uint64_t entries_scanned, std::uint64_t latency_ns);
 
   // Queries seen / records written so far.
+  // relaxed (both): independent statistics; may lag in-flight Observe()
+  // calls but are exact once callers quiesce.
   [[nodiscard]] std::uint64_t Observed() const {
     return observed_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t Records() const {
+    // relaxed: independent statistic, see Observed() above.
     return records_.load(std::memory_order_relaxed);
   }
 
@@ -69,10 +73,13 @@ class SlowQueryLog {
              std::uint64_t entries_scanned, std::uint64_t latency_ns,
              const char* reason);
 
-  SlowQueryLogOptions options_;
+  SlowQueryLogOptions options_;  // written by the ctors only
   std::unique_ptr<std::ofstream> file_;  // set by the path constructor
-  std::ostream* out_;                    // always valid
-  std::mutex write_mutex_;
+  // The pointer is ctor-set and immutable; the *stream* it names is
+  // written only under write_mutex_ (GUARDED_BY cannot see through the
+  // indirection, so the contract lives on Write/Flush).
+  std::ostream* out_;
+  util::Mutex write_mutex_;
   std::atomic<std::uint64_t> observed_{0};
   std::atomic<std::uint64_t> records_{0};
 };

@@ -3,13 +3,17 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace parapll::util {
 
 namespace {
+// relaxed: the level is an independent flag; a racing SetLogLevel only
+// decides whether a concurrent message is emitted, never corrupts state.
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+// Serializes writes to stderr so concurrent log lines do not interleave.
+Mutex g_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -33,15 +37,18 @@ const char* Basename(const char* path) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
+  // relaxed: independent on/off flag, see g_level above.
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  // relaxed: independent on/off flag, see g_level above.
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
 void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
              ...) {
+  // relaxed: stale reads just emit/drop one borderline message.
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
@@ -51,7 +58,7 @@ void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
   std::vsnprintf(message, sizeof(message), fmt, args);
   va_end(args);
 
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file),
                line, message);
 }

@@ -1,0 +1,79 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These macros let the compiler check the project's locking discipline on
+// every build: which mutex guards which field (GUARDED_BY), which methods
+// must be called with a lock held (REQUIRES), and which methods acquire or
+// release one (ACQUIRE / RELEASE). Under Clang with -Wthread-safety every
+// violation is a compile-time diagnostic covering *all* interleavings —
+// complementing TSan, which only sees the interleavings a test happens to
+// exercise. On other compilers the macros expand to nothing.
+//
+// Use the annotated wrappers in util/mutex.hpp (util::Mutex,
+// util::MutexLock, util::CondVar) instead of raw std primitives — the
+// project linter (tools/parapll_lint.py, rule raw-sync-primitive) enforces
+// this outside an explicit allowlist.
+//
+// Conventions (see DESIGN.md "Static analysis & concurrency contracts"):
+//   * every mutable field shared across threads is GUARDED_BY its mutex;
+//   * a private helper that assumes the lock is held is named FooLocked()
+//     and annotated REQUIRES(mutex_);
+//   * public entry points that take the lock may declare EXCLUDES(mutex_)
+//     so re-entrant misuse is caught at the call site;
+//   * NO_THREAD_SAFETY_ANALYSIS is banned outside this header — if the
+//     analysis cannot express a scheme, restructure the code or document
+//     the one unavoidable exception inline (none exist today).
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define PARAPLL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PARAPLL_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+// Type attribute: this class is a lockable capability ("mutex", ...).
+#define CAPABILITY(x) PARAPLL_THREAD_ANNOTATION(capability(x))
+
+// Type attribute: RAII object that acquires on construction and releases
+// on destruction (util::MutexLock).
+#define SCOPED_CAPABILITY PARAPLL_THREAD_ANNOTATION(scoped_lockable)
+
+// Field attribute: reads and writes require holding the given capability.
+#define GUARDED_BY(x) PARAPLL_THREAD_ANNOTATION(guarded_by(x))
+
+// Field attribute: the *pointee* is guarded by the given capability.
+#define PT_GUARDED_BY(x) PARAPLL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attribute: caller must hold the capability (FooLocked helpers).
+#define REQUIRES(...) \
+  PARAPLL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PARAPLL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function attribute: function acquires / releases the capability.
+#define ACQUIRE(...) PARAPLL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PARAPLL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) PARAPLL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PARAPLL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// Function attribute: acquires only when returning the given value.
+#define TRY_ACQUIRE(...) \
+  PARAPLL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function attribute: caller must NOT hold the capability (deadlock guard).
+#define EXCLUDES(...) PARAPLL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function attribute: asserts at runtime that the capability is held and
+// tells the analysis to assume it from here on.
+#define ASSERT_CAPABILITY(x) PARAPLL_THREAD_ANNOTATION(assert_capability(x))
+
+// Function attribute: the function returns a reference to the capability
+// that guards its associated data.
+#define RETURN_CAPABILITY(x) PARAPLL_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch. Banned outside util/thread_annotations.hpp by the
+// acceptance gate; kept defined so a future genuinely-unanalyzable scheme
+// can use it with an inline justification next to the use.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PARAPLL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(std::size_t size) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& worker : workers_) {
     worker.join();
   }
@@ -27,25 +27,29 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void(std::size_t)> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     PARAPLL_CHECK_MSG(!stopping_, "Submit after shutdown");
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) {
+    all_done_.Wait(mutex_);
+  }
 }
 
 void ThreadPool::WorkerLoop(std::size_t worker) {
   for (;;) {
     std::function<void(std::size_t)> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) {
+        task_ready_.Wait(mutex_);
+      }
       if (tasks_.empty()) {
         return;  // stopping_ and drained
       }
@@ -54,10 +58,10 @@ void ThreadPool::WorkerLoop(std::size_t worker) {
     }
     task(worker);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) {
-        all_done_.notify_all();
+        all_done_.NotifyAll();
       }
     }
   }

@@ -5,13 +5,14 @@
 // length |V| within each thread" the paper mentions).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace parapll::util {
 
@@ -37,13 +38,16 @@ class ThreadPool {
  private:
   void WorkerLoop(std::size_t worker);
 
+  // Written only in the constructor, before any worker can observe the
+  // pool; read-only afterwards (Size, destructor join).
   std::vector<std::thread> workers_;
-  std::queue<std::function<void(std::size_t)>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+
+  Mutex mutex_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void(std::size_t)>> tasks_ GUARDED_BY(mutex_);
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 // Runs `count` iterations of `body(worker, index)` across `threads`

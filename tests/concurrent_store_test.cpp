@@ -73,6 +73,8 @@ TEST_P(ConcurrentStoreModes, ConcurrentReadersDuringWrites) {
         });
         ++reads;
       }
+      // relaxed: independent stop flag; a stale read just runs one more
+      // harmless pass.
     } while (!stop.load(std::memory_order_relaxed));
   });
   for (std::size_t t = 0; t < kWriters; ++t) {

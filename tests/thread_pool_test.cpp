@@ -5,6 +5,8 @@
 #include <atomic>
 #include <set>
 
+#include "util/mutex.hpp"
+
 namespace parapll::util {
 namespace {
 
@@ -20,11 +22,11 @@ TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
 
 TEST(ThreadPoolTest, WorkerIndicesAreInRange) {
   ThreadPool pool(3);
-  std::mutex mutex;
+  Mutex mutex;
   std::set<std::size_t> workers;
   for (int i = 0; i < 60; ++i) {
     pool.Submit([&](std::size_t worker) {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       workers.insert(worker);
     });
   }

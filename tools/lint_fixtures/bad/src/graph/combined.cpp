@@ -1,0 +1,10 @@
+// Fixture: several violations in one file must all be reported.
+#include <atomic>
+#include <mutex>
+
+std::mutex g_lock;
+std::atomic<int> g_flag{0};
+
+int* Alloc() { return new int(7); }
+
+int Load() { return g_flag.load(std::memory_order_acquire); }

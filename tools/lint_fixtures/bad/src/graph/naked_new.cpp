@@ -1,0 +1,8 @@
+// Fixture: manual memory management outside the allowlist.
+struct Node {
+  int value = 0;
+};
+
+Node* MakeNode() { return new Node(); }
+
+void FreeNode(Node* node) { delete node; }

@@ -1,0 +1,10 @@
+// Fixture: raw standard-library synchronization outside util/mutex.hpp.
+#include <mutex>
+
+std::mutex g_mutex;
+int g_value = 0;
+
+void Set(int v) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_value = v;
+}

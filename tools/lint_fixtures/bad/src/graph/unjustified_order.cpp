@@ -1,0 +1,12 @@
+// Fixture: a memory_order argument with no nearby justification.
+#include <atomic>
+
+std::atomic<int> g_counter{0};
+
+// A distant comment like this one does not count: the justification must
+// sit on the same line as the ordering or within three lines above it,
+// and the filler below pushes this block out of that window.
+int Filler();
+int MoreFiller();
+int EvenMoreFiller();
+int Bump() { return g_counter.fetch_add(1, std::memory_order_relaxed); }

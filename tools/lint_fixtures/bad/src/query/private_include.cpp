@@ -1,0 +1,4 @@
+// Fixture: reaching into another library's private header.
+#include "build/root_loop.hpp"
+
+int Use() { return 0; }

@@ -1,0 +1,7 @@
+// Fixture: stdio on a hot-path file (the path matches the hot list).
+#include <cstdio>
+
+int Answer(int s, int t) {
+  std::printf("query %d %d\n", s, t);
+  return s + t;
+}

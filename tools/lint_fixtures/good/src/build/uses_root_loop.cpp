@@ -1,0 +1,4 @@
+// Fixture: build/ may include its own private header.
+#include "build/root_loop.hpp"
+
+int Use() { return 0; }

@@ -1,0 +1,12 @@
+// Fixture: idiomatic project code — nothing to report.
+#include <memory>
+#include <vector>
+
+struct Edge {
+  int to = 0;
+  int weight = 0;
+};
+
+std::unique_ptr<std::vector<Edge>> MakeEdges() {
+  return std::make_unique<std::vector<Edge>>();
+}

@@ -1,0 +1,12 @@
+// Fixture: memory_order uses carrying justification comments.
+#include <atomic>
+
+std::atomic<int> g_counter{0};
+
+int Bump() {
+  // relaxed: independent statistic; no other data is published.
+  return g_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// relaxed: same-line form also satisfies the rule.
+int Read() { return g_counter.load(std::memory_order_relaxed); }

@@ -1,0 +1,9 @@
+// Fixture: this path is on the naked-new allowlist (leaked singleton).
+struct Registry {
+  int value = 0;
+};
+
+Registry& Global() {
+  static Registry* registry = new Registry();  // leaked: outlives threads
+  return *registry;
+}

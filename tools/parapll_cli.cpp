@@ -1,13 +1,13 @@
 // parapll_cli — command-line front end for the library.
 //
 //   parapll_cli generate --dataset Epinions --scale 0.05 --out g.txt
-//   parapll_cli build    --graph g.txt --mode parallel --threads 8 \
+//   parapll_cli build    --graph g.txt --mode parallel --threads 8
 //                        --out g.index [--compact]
 //   parapll_cli query    --index g.index -s 3 -t 99
 //   parapll_cli query    --index g.index            # pairs from stdin
 //   parapll_cli stats    --index g.index
 //   parapll_cli verify   --index g.index --graph g.txt --pairs 500
-//   parapll_cli query-bench --index g.index --pairs 100000 --threads 8 \
+//   parapll_cli query-bench --index g.index --pairs 100000 --threads 8
 //                        --batch 8192 [--pair-file pairs.txt]
 //
 // Exit code 0 on success; 1 on usage errors or failed verification.

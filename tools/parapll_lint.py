@@ -1,0 +1,505 @@
+#!/usr/bin/env python3
+"""parapll project linter: conventions a compiler cannot check.
+
+Rules
+-----
+naked-new
+    `new` / `delete` outside the allowlisted files. The project owns
+    memory with containers and smart pointers; the only exceptions are
+    the deliberately-leaked process-lifetime singletons in src/obs/.
+
+memory-order-justification
+    Every `std::memory_order_*` argument must carry a justification
+    comment — on the same line or within the three lines above it.
+    Relaxed atomics are correct only for a reason; the reason belongs in
+    the source, next to the ordering it justifies.
+
+raw-sync-primitive
+    `std::mutex` / `std::lock_guard` / `std::condition_variable` and
+    friends outside src/util/mutex.hpp. Project code must use the
+    annotated util::Mutex / util::MutexLock / util::CondVar wrappers so
+    Clang's -Wthread-safety analysis sees every lock. Allowlisted
+    exception: ConcurrentLabelStore, whose data-dependent row locks are
+    deliberately raw behind a logical capability (see its file comment).
+
+include-hygiene
+    Headers listed as private to a library may only be included from
+    inside that library's directory.
+
+hot-path-banned-call
+    Files on the hot-path list (the query inner loop, Pruned Dijkstra,
+    the concurrent label store, the root loop) must not call stdio /
+    iostream / allocation-by-hand routines.
+
+Usage
+-----
+    tools/parapll_lint.py [--root DIR] [--json] [files...]
+    tools/parapll_lint.py --self-test
+
+With no files, scans src/ tests/ bench/ examples/ tools/ under --root
+(default: the repository root containing this script), skipping the
+lint_fixtures tree. Exit codes: 0 clean, 1 findings (or self-test
+failure), 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# --- configuration ---------------------------------------------------------
+
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".cc", ".h")
+
+# Deliberately-leaked process-lifetime singletons.
+NAKED_NEW_ALLOWLIST = {
+    "src/obs/metrics.cpp",
+    "src/obs/trace.cpp",
+    "src/obs/telemetry.cpp",
+}
+
+# The annotated wrappers themselves, plus the one documented exception
+# (data-dependent row locks behind a logical capability).
+RAW_SYNC_ALLOWLIST = {
+    "src/util/mutex.hpp",
+    "src/parapll/concurrent_label_store.hpp",
+    "src/parapll/concurrent_label_store.cpp",
+}
+
+# Private header -> directory prefixes that may include it.
+PRIVATE_HEADERS = {
+    "build/root_loop.hpp": ("src/build/",),
+}
+
+# Files forming the latency-critical paths.
+HOT_FILES = {
+    "src/pll/pruned_dijkstra.hpp",
+    "src/pll/index.cpp",
+    "src/query/query_engine.cpp",
+    "src/parapll/concurrent_label_store.hpp",
+    "src/parapll/concurrent_label_store.cpp",
+    "src/build/root_loop.hpp",
+}
+
+RAW_SYNC_TOKENS = (
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::shared_mutex",
+    "std::condition_variable",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+)
+
+HOT_BANNED_TOKENS = (
+    "std::cout",
+    "std::cerr",
+    "std::endl",
+    "printf",
+    "fprintf",
+    "sprintf",
+    "malloc(",
+    "calloc(",
+    "free(",
+    "getenv(",
+    "system(",
+)
+
+MEMORY_ORDER_RE = re.compile(r"\bstd::memory_order_\w+")
+# `new Foo` / `delete p` / `delete[] p` — but not deleted special member
+# functions (`= delete`) or identifiers containing the words.
+NAKED_NEW_RE = re.compile(r"(?<![=\w.])\s*\b(new|delete)\b(?!\s*[;,)])")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+COMMENT_JUSTIFICATION_WINDOW = 3
+
+
+@dataclass
+class Finding:
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def text(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_json(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+# --- source model ----------------------------------------------------------
+
+
+@dataclass
+class SourceLine:
+    raw: str   # the line as written
+    code: str  # comments and string/char literals blanked out
+    has_comment: bool
+
+
+def strip_line_states(text: str) -> list[SourceLine]:
+    """Blank comments and literals, tracking which lines carry comments.
+
+    A character-level scan handling //, /* */, "...", '...'. Raw string
+    literals are treated as plain strings, which is fine for the tokens
+    this linter looks for.
+    """
+    lines: list[SourceLine] = []
+    code_chars: list[str] = []
+    comment_here = False
+    state = "code"  # code | line_comment | block_comment | string | char
+    i = 0
+    while i <= len(text):
+        ch = text[i] if i < len(text) else "\n"  # flush a final unterminated line
+        nxt = text[i + 1] if i + 1 < len(text) else ""
+        if ch == "\n":
+            raw_start = sum(len(l.raw) + 1 for l in lines)
+            raw = text[raw_start : i if i < len(text) else len(text)]
+            lines.append(
+                SourceLine("".join([raw]), "".join(code_chars), comment_here)
+            )
+            code_chars = []
+            # A // comment dies with its line; only a /* */ comment makes
+            # the next line start inside a comment.
+            comment_here = state == "block_comment"
+            if state == "line_comment":
+                state = "code"
+            if i >= len(text):
+                break
+            i += 1
+            continue
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                comment_here = True
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                comment_here = True
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                code_chars.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                code_chars.append("'")
+                i += 1
+                continue
+            code_chars.append(ch)
+        elif state == "line_comment":
+            pass
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+        elif state == "string":
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                state = "code"
+                code_chars.append('"')
+        elif state == "char":
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == "'":
+                state = "code"
+                code_chars.append("'")
+        i += 1
+    # Drop the synthetic trailing empty line the flush can add.
+    if lines and lines[-1].raw == "" and not text.endswith("\n"):
+        pass
+    return lines
+
+
+# --- rules -----------------------------------------------------------------
+
+
+def check_naked_new(rel: str, lines: list[SourceLine]) -> list[Finding]:
+    if rel in NAKED_NEW_ALLOWLIST:
+        return []
+    out = []
+    for idx, line in enumerate(lines, start=1):
+        m = NAKED_NEW_RE.search(line.code)
+        if m:
+            out.append(
+                Finding(
+                    rel,
+                    idx,
+                    "naked-new",
+                    f"naked `{m.group(1)}`: own memory with containers or "
+                    "smart pointers (allowlisted leaked singletons live in "
+                    "src/obs/)",
+                )
+            )
+    return out
+
+
+def check_memory_order(rel: str, lines: list[SourceLine]) -> list[Finding]:
+    out = []
+    for idx, line in enumerate(lines, start=1):
+        m = MEMORY_ORDER_RE.search(line.code)
+        if not m:
+            continue
+        justified = line.has_comment
+        lo = max(0, idx - 1 - COMMENT_JUSTIFICATION_WINDOW)
+        for prev in lines[lo : idx - 1]:
+            if prev.has_comment:
+                justified = True
+                break
+        if not justified:
+            out.append(
+                Finding(
+                    rel,
+                    idx,
+                    "memory-order-justification",
+                    f"`{m.group(0)}` without a justification comment on the "
+                    f"same line or within {COMMENT_JUSTIFICATION_WINDOW} "
+                    "lines above",
+                )
+            )
+    return out
+
+
+def check_raw_sync(rel: str, lines: list[SourceLine]) -> list[Finding]:
+    if rel in RAW_SYNC_ALLOWLIST:
+        return []
+    out = []
+    for idx, line in enumerate(lines, start=1):
+        for token in RAW_SYNC_TOKENS:
+            if token in line.code:
+                out.append(
+                    Finding(
+                        rel,
+                        idx,
+                        "raw-sync-primitive",
+                        f"`{token}`: use the annotated util::Mutex / "
+                        "util::MutexLock / util::CondVar wrappers "
+                        "(src/util/mutex.hpp) so -Wthread-safety sees the "
+                        "lock",
+                    )
+                )
+                break
+    return out
+
+
+def check_include_hygiene(rel: str, lines: list[SourceLine]) -> list[Finding]:
+    out = []
+    for idx, line in enumerate(lines, start=1):
+        # Match against the raw line: the code view blanks string
+        # contents, which is exactly where the include path lives. Guard
+        # on the code view so commented-out includes don't count.
+        if not line.code.lstrip().startswith("#"):
+            continue
+        m = INCLUDE_RE.match(line.raw)
+        if not m:
+            continue
+        included = m.group(1)
+        allowed = PRIVATE_HEADERS.get(included)
+        if allowed is None:
+            continue
+        if not rel.startswith(allowed) and rel not in {
+            "src/" + included
+        }:
+            out.append(
+                Finding(
+                    rel,
+                    idx,
+                    "include-hygiene",
+                    f'"{included}" is private to {allowed[0]}; include it '
+                    "only from there",
+                )
+            )
+    return out
+
+
+def check_hot_path(rel: str, lines: list[SourceLine]) -> list[Finding]:
+    if rel not in HOT_FILES:
+        return []
+    out = []
+    for idx, line in enumerate(lines, start=1):
+        for token in HOT_BANNED_TOKENS:
+            if token in line.code:
+                out.append(
+                    Finding(
+                        rel,
+                        idx,
+                        "hot-path-banned-call",
+                        f"`{token.rstrip('(')}` on a hot-path file: route "
+                        "diagnostics through obs/ metrics or the caller",
+                    )
+                )
+                break
+    return out
+
+
+RULES = (
+    check_naked_new,
+    check_memory_order,
+    check_raw_sync,
+    check_include_hygiene,
+    check_hot_path,
+)
+
+
+def lint_file(root: str, rel: str) -> list[Finding]:
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(rel, 0, "io-error", str(e))]
+    lines = strip_line_states(text)
+    findings: list[Finding] = []
+    for rule in RULES:
+        findings.extend(rule(rel, lines))
+    return findings
+
+
+def discover(root: str) -> list[str]:
+    rels: list[str] = []
+    for top in SCAN_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [
+                d for d in dirnames if d not in ("lint_fixtures", "build")
+            ]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    rels.append(rel.replace(os.sep, "/"))
+    return sorted(rels)
+
+
+# --- self-test over the fixture tree ---------------------------------------
+
+
+def self_test(fixtures_root: str) -> int:
+    failures = 0
+    checked = 0
+    for kind in ("bad", "good"):
+        kind_root = os.path.join(fixtures_root, kind)
+        if not os.path.isdir(kind_root):
+            print(f"self-test: missing fixture dir {kind_root}", file=sys.stderr)
+            return 2
+        for dirpath, _, filenames in os.walk(kind_root):
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTENSIONS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), kind_root)
+                rel = rel.replace(os.sep, "/")
+                found = {f.rule for f in lint_file(kind_root, rel)}
+                expect_path = os.path.join(kind_root, rel + ".expect")
+                expected: set[str] = set()
+                if os.path.exists(expect_path):
+                    with open(expect_path, encoding="utf-8") as f:
+                        expected = {
+                            line.strip()
+                            for line in f
+                            if line.strip() and not line.startswith("#")
+                        }
+                if kind == "good" and expected:
+                    print(
+                        f"self-test: good fixture {rel} has an .expect file",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+                checked += 1
+                if found != expected:
+                    print(
+                        f"self-test FAIL {kind}/{rel}: expected "
+                        f"{sorted(expected) or '[]'}, got {sorted(found) or '[]'}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+    if checked == 0:
+        print("self-test: no fixtures found", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"self-test: {failures} failure(s) over {checked} fixture(s)")
+        return 1
+    print(f"self-test: OK ({checked} fixtures)")
+    return 0
+
+
+# --- entry point -----------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root to scan (default: parent of tools/)",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON findings")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the linter against tools/lint_fixtures and verify verdicts",
+    )
+    parser.add_argument("files", nargs="*", help="restrict to these files")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        fixtures = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "lint_fixtures"
+        )
+        return self_test(fixtures)
+
+    root = os.path.abspath(args.root)
+    if args.files:
+        rels = []
+        for f in args.files:
+            rel = os.path.relpath(os.path.abspath(f), root)
+            rels.append(rel.replace(os.sep, "/"))
+    else:
+        rels = discover(root)
+    if not rels:
+        print("error: nothing to lint", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for rel in rels:
+        findings.extend(lint_file(root, rel))
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "checked_files": len(rels),
+                    "findings": [f.as_json() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for f in findings:
+            print(f.text())
+        status = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"parapll_lint: {len(rels)} files, {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

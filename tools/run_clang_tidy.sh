@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the project sources using the
+# compilation database exported by CMake.
+#
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Exit codes: 0 clean, 1 findings, 2 environment problem (no clang-tidy,
+# no compilation database). CI treats 1 and 2 as failures; local runs on
+# machines without clang-tidy print a skip notice and exit 0 unless
+# REQUIRE_CLANG_TIDY=1.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "$tidy_bin" ]; then
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy_bin="$candidate"
+      break
+    fi
+  done
+fi
+
+if [ -z "$tidy_bin" ]; then
+  if [ "${REQUIRE_CLANG_TIDY:-0}" = "1" ]; then
+    echo "error: clang-tidy not found (set CLANG_TIDY or install it)" >&2
+    exit 2
+  fi
+  echo "clang-tidy not found; skipping (set REQUIRE_CLANG_TIDY=1 to fail)" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json not found." >&2
+  echo "  configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+# Project sources only: skip the build tree and third-party content.
+mapfile -t sources < <(
+  find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
+       "$repo_root/examples" "$repo_root/tools" \
+       -name '*.cpp' -not -path '*/lint_fixtures/*' | sort
+)
+
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "error: no sources found" >&2
+  exit 2
+fi
+
+echo "clang-tidy ($tidy_bin) over ${#sources[@]} files..."
+status=0
+jobs="$(nproc 2>/dev/null || echo 4)"
+printf '%s\n' "${sources[@]}" |
+  xargs -P "$jobs" -I {} "$tidy_bin" -p "$build_dir" --quiet {} || status=1
+
+if [ "$status" -ne 0 ]; then
+  echo "clang-tidy: findings above must be fixed" >&2
+  exit 1
+fi
+echo "clang-tidy: clean"
