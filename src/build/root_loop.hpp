@@ -34,6 +34,7 @@
 #include "build/root_scheduler.hpp"
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "parapll/parallel_indexer.hpp"
 #include "pll/pruned_dijkstra.hpp"
@@ -158,6 +159,11 @@ RootLoopOutcome DrainRoots(const graph::Graph& rank_graph, Labels& labels,
         break;
       }
       const pll::PruneStats stats = [&] {
+        // Tag the Dijkstra run with a build_root/<rank> request context:
+        // profiler samples landing inside it attribute CPU to this root,
+        // surfacing the hot (high-degree, early-rank) roots by name.
+        obs::ScopedRequestContext root_context(
+            obs::MakeContextId(obs::ContextKind::kBuildRoot, root));
         util::ScopedAccumulate in_dijkstra(busy);
         return pll::PrunedDijkstra(rank_graph, root, labels, scratch);
       }();

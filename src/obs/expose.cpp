@@ -1,8 +1,11 @@
 #include "obs/expose.hpp"
 
 #include <cctype>
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <arpa/inet.h>
@@ -13,10 +16,38 @@
 #define PARAPLL_HAVE_SOCKETS 1
 #endif
 
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "util/json.hpp"
 
 namespace parapll::obs {
+
+namespace {
+// Process-wide health identity behind its own mutex (leaked, like every
+// obs singleton, so shutdown-order races cannot touch a dead object).
+struct HealthInfoHolder {
+  util::Mutex mutex;
+  HealthInfo info GUARDED_BY(mutex);
+};
+
+HealthInfoHolder& HealthHolder() {
+  static HealthInfoHolder* holder = new HealthInfoHolder();
+  return *holder;
+}
+}  // namespace
+
+void SetProcessHealthInfo(const HealthInfo& info) {
+  HealthInfoHolder& holder = HealthHolder();
+  util::MutexLock lock(holder.mutex);
+  holder.info = info;
+}
+
+HealthInfo GetProcessHealthInfo() {
+  HealthInfoHolder& holder = HealthHolder();
+  util::MutexLock lock(holder.mutex);
+  return holder.info;
+}
 
 std::string PrometheusMetricName(std::string_view name) {
   std::string out = "parapll_";
@@ -56,7 +87,16 @@ void RenderHistogram(std::ostream& out, const std::string& pname,
     cumulative += snap.buckets[b];
     const std::uint64_t le =
         b == 0 ? 0 : (std::uint64_t{1} << (b - 1)) * 2 - 1;
-    out << pname << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    out << pname << "_bucket{le=\"" << le << "\"} " << cumulative;
+    // OpenMetrics exemplar: the last sample that landed in this bucket
+    // and the request context that produced it, joinable against the
+    // slow-query log and profiler contexts on the same id.
+    const HistogramExemplar& exemplar = snap.exemplars[b];
+    if (exemplar.valid && exemplar.request_id != 0) {
+      out << " # {request_id=\"" << ContextIdToString(exemplar.request_id)
+          << "\"} " << exemplar.value;
+    }
+    out << "\n";
   }
   out << pname << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
   out << pname << "_sum " << snap.sum << "\n";
@@ -208,6 +248,12 @@ void StatsServer::Handle(int client_fd) {
   std::string method;
   std::string path;
   line >> method >> path;
+  std::string query;
+  const std::size_t question = path.find('?');
+  if (question != std::string::npos) {
+    query = path.substr(question + 1);
+    path = path.substr(0, question);
+  }
 
   std::string body;
   std::string status = "200 OK";
@@ -220,17 +266,38 @@ void StatsServer::Handle(int client_fd) {
     body = RenderPrometheusText(Registry::Global().Snapshot());
     content_type = "text/plain; version=0.0.4; charset=utf-8";
   } else if (path == "/healthz" || path == "/") {
+    const HealthInfo health = GetProcessHealthInfo();
     std::ostringstream out;
-    out << "ok\n";
-    out << "uptime_seconds "
-        << static_cast<double>(TraceNowNs() - start_ns_) / 1e9 << "\n";
+    util::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("status").Value("ok");
+    w.Key("version").Value(kParaPllVersion);
+    w.Key("uptime_seconds")
+        .Value(static_cast<double>(TraceNowNs() - start_ns_) / 1e9);
     if (options_.sampler != nullptr) {
-      out << "telemetry_samples " << options_.sampler->TotalSamples() << "\n";
+      w.Key("telemetry_samples").Value(options_.sampler->TotalSamples());
     }
+    if (health.index_mode.empty()) {
+      w.Key("index").Value("none");
+    } else {
+      w.Key("index").BeginObject();
+      w.Key("fingerprint").Value(health.index_fingerprint);
+      w.Key("format_version")
+          .Value(static_cast<std::uint64_t>(health.index_format_version));
+      w.Key("mode").Value(health.index_mode);
+      w.Key("num_vertices").Value(health.num_vertices);
+      w.Key("roots_completed").Value(health.roots_completed);
+      w.EndObject();
+    }
+    w.EndObject();
+    out << '\n';
     body = out.str();
+    content_type = "application/json; charset=utf-8";
+  } else if (path == "/debug/profile") {
+    HandleDebugProfile(query, status, content_type, body);
   } else {
     status = "404 Not Found";
-    body = "try /metrics or /healthz\n";
+    body = "try /metrics, /healthz or /debug/profile\n";
   }
 
   std::ostringstream response;
@@ -256,6 +323,71 @@ void StatsServer::Handle(int client_fd) {
   }
 }
 
+void StatsServer::HandleDebugProfile(const std::string& query,
+                                     std::string& status,
+                                     std::string& content_type,
+                                     std::string& body) {
+  if (!Profiler::Supported()) {
+    status = "501 Not Implemented";
+    body = "profiler unsupported on this platform\n";
+    return;
+  }
+  // Parse "?seconds=N" and "&format=json" from the raw query string.
+  std::uint64_t seconds = 5;
+  bool json = false;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::string param = query.substr(pos, end - pos);
+    if (param.rfind("seconds=", 0) == 0) {
+      seconds = std::strtoull(param.c_str() + 8, nullptr, 10);
+    } else if (param == "format=json") {
+      json = true;
+    }
+    pos = end + 1;
+  }
+  if (seconds == 0) {
+    seconds = 1;
+  }
+  if (seconds > 60) {
+    seconds = 60;
+  }
+  Profiler& profiler = Profiler::Global();
+  try {
+    profiler.Start();
+  } catch (const std::exception& e) {
+    // Start() throws when a capture is already running (ours or the
+    // CLI's) — the caller should retry later, not stack captures.
+    status = "409 Conflict";
+    body = std::string("profiler busy: ") + e.what() + "\n";
+    return;
+  }
+  // Sleep out the capture window in short slices, bailing out early if
+  // the server is being stopped so Stop() joins promptly.
+  const std::uint64_t deadline_ns = TraceNowNs() + seconds * 1'000'000'000ULL;
+  // acquire: same pairing as Running(); a stale true only costs one more
+  // 50 ms slice.
+  while (running_.load(std::memory_order_acquire) &&
+         TraceNowNs() < deadline_ns) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const ProfileReport report = profiler.Stop();
+  std::ostringstream out;
+  if (json) {
+    report.WriteChromeJsonWithTrace(out);
+    content_type = "application/json; charset=utf-8";
+  } else {
+    out << "# samples " << report.samples << " dropped " << report.dropped
+        << " hz " << report.sample_hz << " duration_seconds "
+        << report.duration_seconds << "\n";
+    report.WriteCollapsed(out);
+  }
+  body = out.str();
+}
+
 #else  // !PARAPLL_HAVE_SOCKETS
 
 void StatsServer::Start() {
@@ -264,6 +396,8 @@ void StatsServer::Start() {
 void StatsServer::Stop() {}
 void StatsServer::Serve(int) {}
 void StatsServer::Handle(int) {}
+void StatsServer::HandleDebugProfile(const std::string&, std::string&,
+                                     std::string&, std::string&) {}
 
 #endif  // PARAPLL_HAVE_SOCKETS
 

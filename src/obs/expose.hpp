@@ -1,11 +1,25 @@
 // Prometheus text exposition + a minimal single-threaded HTTP endpoint.
 //
-//   GET /metrics  — Prometheus text format (version 0.0.4): counters and
-//                   gauges as-is, log2 histograms translated to cumulative
-//                   `_bucket{le=...}` series plus `_sum`/`_count`, and
-//                   interpolated `_p50/_p90/_p99` gauges per histogram.
-//   GET /healthz  — "ok" plus uptime and sample count, for humans and
-//                   load-balancer checks.
+//   GET /metrics        — Prometheus text format (version 0.0.4):
+//                         counters and gauges as-is, log2 histograms
+//                         translated to cumulative `_bucket{le=...}`
+//                         series plus `_sum`/`_count`, interpolated
+//                         `_p50/_p90/_p99` gauges, and OpenMetrics-style
+//                         exemplars (`# {request_id="..."} value`) on
+//                         buckets that carry one.
+//   GET /healthz        — JSON health document: status, uptime,
+//                         telemetry sample count, process version, and
+//                         the served index's BuildManifest identity
+//                         (fingerprint, mode, vertex count) published via
+//                         SetProcessHealthInfo, so operators can tell
+//                         *which* index a process is serving.
+//   GET /debug/profile  — on-demand CPU capture: ?seconds=N (default 5,
+//                         max 60) runs the obs::Profiler and returns
+//                         collapsed stacks (text) or, with &format=json,
+//                         the Chrome trace merged with the span timeline.
+//                         409 while a capture is already running; the
+//                         server thread blocks for the capture window (it
+//                         is a scrape target, not a web server).
 //
 // The server owns one background thread that accepts and answers one
 // connection at a time — a scrape target, not a web server. Probes
@@ -30,6 +44,25 @@
 namespace parapll::obs {
 
 class TelemetrySampler;
+
+// Process version reported by /healthz; tracks the repo's PR trajectory.
+inline constexpr const char* kParaPllVersion = "0.6.0";
+
+// What /healthz reports about the index this process serves. The obs
+// layer stays independent of pll::BuildManifest: whoever loads or builds
+// an index copies the identifying fields in via SetProcessHealthInfo.
+struct HealthInfo {
+  std::uint64_t index_fingerprint = 0;  // graph fingerprint, 0 = no index
+  std::uint32_t index_format_version = 0;
+  std::string index_mode;  // "serial" | "parallel" | ... ; empty = none
+  std::uint64_t num_vertices = 0;
+  std::uint64_t roots_completed = 0;
+};
+
+// Process-wide health identity, read by every StatsServer instance.
+// Thread-safe; call again whenever the served index changes.
+void SetProcessHealthInfo(const HealthInfo& info);
+[[nodiscard]] HealthInfo GetProcessHealthInfo();
 
 // "query.batch.latency_ns" -> "parapll_query_batch_latency_ns".
 std::string PrometheusMetricName(std::string_view name);
@@ -76,6 +109,11 @@ class StatsServer {
   // touches the guarded listen_fd_ member from the worker thread.
   void Serve(int listen_fd);
   void Handle(int client_fd);
+  // GET /debug/profile: runs an on-demand obs::Profiler capture. Sleeps
+  // in short slices and aborts early when the server is stopped so
+  // Stop() never waits out a long capture window.
+  void HandleDebugProfile(const std::string& query, std::string& status,
+                          std::string& content_type, std::string& body);
 
   StatsServerOptions options_;  // written by the ctor only, then read-only
   // Lifecycle state: Start()/Stop()/Port() all serialize on mutex_, so a

@@ -144,6 +144,31 @@ void Histogram::Record(std::uint64_t value) {
   AtomicMax(max_, value);
 }
 
+void Histogram::RecordWithExemplar(std::uint64_t value,
+                                   std::uint64_t request_id) {
+  Record(value);
+  ExemplarSlot& slot = exemplars_[BucketOf(value)];
+  // relaxed load: a stale version only makes the CAS below fail, which is
+  // the documented lossy path.
+  std::uint64_t version = slot.version.load(std::memory_order_relaxed);
+  if ((version & 1) != 0) {
+    return;  // another writer owns the slot: drop this exemplar
+  }
+  // acquire CAS: wins the slot (odd version) and orders the payload
+  // stores below after the claim; losers return without retrying.
+  if (!slot.version.compare_exchange_strong(version, version + 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+    return;
+  }
+  // relaxed payload stores: published by the release version bump below.
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.request_id.store(request_id, std::memory_order_relaxed);
+  // release: makes the payload visible to any reader that observes the
+  // new even version.
+  slot.version.store(version + 2, std::memory_order_release);
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   // relaxed (all loads below): merged view of independent tallies; may
@@ -160,6 +185,32 @@ HistogramSnapshot Histogram::Snapshot() const {
   const std::uint64_t min = min_.load(std::memory_order_relaxed);
   snap.min = (snap.count == 0 || min == UINT64_MAX) ? 0 : min;
   snap.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    const ExemplarSlot& slot = exemplars_[b];
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      // acquire: pairs with the writer's release version bump so an even,
+      // unchanged version proves the payload reads were not torn.
+      const std::uint64_t before = slot.version.load(std::memory_order_acquire);
+      if (before == 0) {
+        break;  // never written
+      }
+      if ((before & 1) != 0) {
+        continue;  // write in progress: retry
+      }
+      // relaxed payload loads: validated by the fenced re-check below.
+      const std::uint64_t value = slot.value.load(std::memory_order_relaxed);
+      const std::uint64_t request_id =
+          slot.request_id.load(std::memory_order_relaxed);
+      // acquire fence: keeps the payload loads above the version re-check
+      // (the textbook seqlock reader ordering).
+      std::atomic_thread_fence(std::memory_order_acquire);
+      // relaxed: ordered by the fence above; equality proves stability.
+      if (slot.version.load(std::memory_order_relaxed) == before) {
+        snap.exemplars[b] = {true, value, request_id};
+        break;
+      }
+    }
+  }
   return snap;
 }
 
@@ -177,6 +228,13 @@ void Histogram::Reset() {
   // relaxed (min/max): re-arming the extremes under quiesced writers.
   min_.store(UINT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  for (ExemplarSlot& slot : exemplars_) {
+    // relaxed (all three): zeroing under quiesced writers, as above; a
+    // version of 0 reads as "never written".
+    slot.value.store(0, std::memory_order_relaxed);
+    slot.request_id.store(0, std::memory_order_relaxed);
+    slot.version.store(0, std::memory_order_relaxed);
+  }
 }
 
 Registry& Registry::Global() {

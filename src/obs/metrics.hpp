@@ -88,6 +88,15 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// Last sample that landed in one histogram bucket together with the
+// request context that produced it — an OpenMetrics-style exemplar
+// answering "which request put something in this latency bucket?".
+struct HistogramExemplar {
+  bool valid = false;
+  std::uint64_t value = 0;
+  std::uint64_t request_id = 0;  // obs::RequestContext id, 0 = untagged
+};
+
 // Read-only merged view of a Histogram.
 struct HistogramSnapshot {
   // Bucket b = 0 holds value 0; bucket b >= 1 holds values in
@@ -99,6 +108,7 @@ struct HistogramSnapshot {
   std::uint64_t min = 0;  // 0 when empty
   std::uint64_t max = 0;
   std::array<std::uint64_t, kBuckets> buckets{};
+  std::array<HistogramExemplar, kBuckets> exemplars{};
 
   [[nodiscard]] double Mean() const;
   // Approximate quantile (q in [0, 1]): walks the cumulative bucket
@@ -115,6 +125,13 @@ class Histogram {
  public:
   void Record(std::uint64_t value);
 
+  // Record() plus a best-effort exemplar: remembers (value, request_id)
+  // for the landing bucket so the exposition can point at the request
+  // that produced a sample in that latency range. Lossy by design — a
+  // writer that loses the seqlock race skips the exemplar rather than
+  // spin, so the cost over Record() is one CAS on the bucket's slot.
+  void RecordWithExemplar(std::uint64_t value, std::uint64_t request_id);
+
   [[nodiscard]] HistogramSnapshot Snapshot() const;
 
   void Reset();
@@ -124,11 +141,21 @@ class Histogram {
     std::atomic<std::uint64_t> count{0};
     std::atomic<std::uint64_t> sum{0};
   };
+  // Seqlock slot: version is even when stable; a writer CASes it odd,
+  // stores the payload, then bumps it back to even. Readers retry/skip on
+  // odd or changed versions, so a torn (value, request_id) pair is never
+  // observed.
+  struct ExemplarSlot {
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> request_id{0};
+  };
   static constexpr std::size_t kShards = 64;
 
   std::array<Shard, kShards> shards_{};
   std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
       buckets_{};
+  std::array<ExemplarSlot, HistogramSnapshot::kBuckets> exemplars_{};
   std::atomic<std::uint64_t> min_{UINT64_MAX};
   std::atomic<std::uint64_t> max_{0};
 };

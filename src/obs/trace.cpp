@@ -138,12 +138,9 @@ void TraceSink::Clear() {
   i->dropped.store(0, std::memory_order_relaxed);
 }
 
-void TraceSink::WriteChromeJson(std::ostream& out) const {
+void TraceSink::AppendChromeEvents(util::JsonWriter& w) const {
   const Impl* i = impl();
   util::MutexLock lock(i->registry_mutex);
-  util::JsonWriter w(out);
-  w.BeginObject();
-  w.Key("traceEvents").BeginArray();
   for (const ThreadBuffer& buffer : i->buffers) {
     util::MutexLock buffer_lock(buffer.mutex);
     for (const TraceEvent& e : buffer.events) {
@@ -161,6 +158,13 @@ void TraceSink::WriteChromeJson(std::ostream& out) const {
       w.EndObject();
     }
   }
+}
+
+void TraceSink::WriteChromeJson(std::ostream& out) const {
+  util::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  AppendChromeEvents(w);
   w.EndArray();
   w.Key("displayTimeUnit").Value("ms");
   w.EndObject();

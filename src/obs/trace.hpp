@@ -22,6 +22,10 @@
 #include <ostream>
 #include <string>
 
+namespace parapll::util {
+class JsonWriter;
+}  // namespace parapll::util
+
 namespace parapll::obs {
 
 // Global runtime switch for span collection. Off by default.
@@ -75,6 +79,13 @@ class TraceSink {
   [[nodiscard]] std::string ToChromeJson() const;
   // Convenience file form; throws std::runtime_error on open failure.
   void WriteChromeJsonFile(const std::string& path) const;
+
+  // Emits each buffered event as one JSON object via `w`, which must be
+  // positioned inside an open array. Lets other exporters (the profiler's
+  // merged Chrome trace) splice the span timeline into their own
+  // "traceEvents" array; JsonWriter's comma bookkeeping makes the events
+  // compose with whatever the caller writes around them.
+  void AppendChromeEvents(util::JsonWriter& w) const;
 
  private:
   TraceSink() = default;

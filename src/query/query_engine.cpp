@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -91,6 +92,12 @@ void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
   }
   PARAPLL_SPAN("query.batch", "pairs", pairs.size());
 
+  // One request context per batch: profiler samples taken inside any
+  // shard, slow-log records, and the latency exemplar below all carry
+  // this id, so "which batch was hot?" joins across all three.
+  const std::uint64_t context = obs::NextQueryBatchContext();
+  obs::ScopedRequestContext scoped_context(context);
+
   const bool metrics = obs::MetricsEnabled();
   const std::uint64_t start_ns = metrics ? obs::TraceNowNs() : 0;
 
@@ -115,16 +122,20 @@ void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
       if (begin >= end) {
         break;
       }
-      pool_->Submit([this, metrics, logged,
+      pool_->Submit([this, metrics, logged, context,
                      shard_pairs = pairs.subspan(begin, end - begin),
                      shard_out = out.subspan(begin, end - begin)](std::size_t) {
+        // Worker threads inherit the batch's context so their profiler
+        // samples and slow-log records attribute to it.
+        obs::ScopedRequestContext shard_context(context);
         const std::uint64_t shard_start = metrics ? obs::TraceNowNs() : 0;
         logged ? RunShardLogged(shard_pairs, shard_out)
                : RunShard(shard_pairs, shard_out);
         if (metrics) {
           static obs::Histogram& shard_ns =
               obs::Registry::Global().GetHistogram("query.batch.shard_ns");
-          shard_ns.Record(obs::TraceNowNs() - shard_start);
+          shard_ns.RecordWithExemplar(obs::TraceNowNs() - shard_start,
+                                      context);
         }
       });
     }
@@ -141,7 +152,7 @@ void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
         registry.GetHistogram("query.batch.pairs_per_batch");
     batches.Add(1);
     answered.Add(pairs.size());
-    latency.Record(obs::TraceNowNs() - start_ns);
+    latency.RecordWithExemplar(obs::TraceNowNs() - start_ns, context);
     sizes.Record(pairs.size());
   }
 }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 
@@ -34,13 +35,14 @@ void SlowQueryLog::Observe(graph::VertexId s, graph::VertexId t,
     return;
   }
   Write(s, t, distance, entries_scanned, latency_ns,
-        slow ? "slow" : "sampled");
+        slow ? "slow" : "sampled", obs::CurrentRequestContext());
 }
 
 void SlowQueryLog::Write(graph::VertexId s, graph::VertexId t,
                          graph::Distance distance,
                          std::uint64_t entries_scanned,
-                         std::uint64_t latency_ns, const char* reason) {
+                         std::uint64_t latency_ns, const char* reason,
+                         std::uint64_t request_id) {
   util::MutexLock lock(write_mutex_);
   util::JsonWriter w(*out_);
   w.BeginObject();
@@ -55,6 +57,7 @@ void SlowQueryLog::Write(graph::VertexId s, graph::VertexId t,
   w.Key("entries_scanned").Value(entries_scanned);
   w.Key("latency_ns").Value(latency_ns);
   w.Key("reason").Value(reason);
+  w.Key("request_id").Value(obs::ContextIdToString(request_id));
   w.EndObject();
   *out_ << '\n';
   out_->flush();

@@ -8,7 +8,12 @@
 //
 // Record schema (one JSON object per line; see EXPERIMENTS.md):
 //   {"mono_ns":..,"s":..,"t":..,"distance":..,  // null when unreachable
-//    "entries_scanned":..,"latency_ns":..,"reason":"slow"|"sampled"}
+//    "entries_scanned":..,"latency_ns":..,"reason":"slow"|"sampled",
+//    "request_id":"query_batch/42"}             // obs request context
+//
+// The request_id is the calling thread's obs::CurrentRequestContext() at
+// Observe() time (the engine scopes one per batch), so slow-log records,
+// profiler samples, and Prometheus histogram exemplars join on one key.
 //
 // Overhead: engines without an attached log keep their uninstrumented
 // merge loop (a single pointer test per batch selects the path); Observe
@@ -71,7 +76,7 @@ class SlowQueryLog {
  private:
   void Write(graph::VertexId s, graph::VertexId t, graph::Distance distance,
              std::uint64_t entries_scanned, std::uint64_t latency_ns,
-             const char* reason);
+             const char* reason, std::uint64_t request_id);
 
   SlowQueryLogOptions options_;  // written by the ctors only
   std::unique_ptr<std::ofstream> file_;  // set by the path constructor

@@ -10,8 +10,12 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "obs/expose.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <arpa/inet.h>
@@ -237,6 +241,60 @@ TEST(PrometheusTest, RendersCountersGaugesAndCumulativeBuckets) {
   EXPECT_EQ(cumulative.back(), 4u);  // le="+Inf" equals _count
 }
 
+TEST(PrometheusTest, RendersHistogramExemplars) {
+  Histogram& histogram =
+      Registry::Global().GetHistogram("test.prom.exemplar");
+  histogram.Reset();
+  const std::uint64_t context = MakeContextId(ContextKind::kQueryBatch, 77);
+  histogram.RecordWithExemplar(12, context);
+
+  const std::string text =
+      RenderPrometheusText(Registry::Global().Snapshot());
+  // The bucket holding value 12 must carry the OpenMetrics exemplar with
+  // the request-context id that recorded it.
+  EXPECT_NE(text.find("# {request_id=\"query_batch/77\"} 12"),
+            std::string::npos)
+      << text;
+  histogram.Reset();
+}
+
+// Satellite (c): per-thread cap drop accounting under concurrent span
+// emission. Each fresh thread's buffer starts empty, so with a cap of C
+// and K > C spans per thread, exactly C events land and K - C drop, per
+// thread, deterministically.
+TEST(TraceSinkTest, DropAccountingAtCapUnderMultithreadedEmission) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kCap = 64;
+  constexpr std::size_t kSpansPerThread = 200;
+
+  TraceSink& sink = TraceSink::Global();
+  sink.Clear();
+  sink.SetMaxEventsPerThread(kCap);
+  SetTracingEnabled(true);
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+        PARAPLL_SPAN("telemetry_test_cap_span", "i", i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  SetTracingEnabled(false);
+
+  EXPECT_EQ(sink.EventCount(), kThreads * kCap);
+  EXPECT_EQ(sink.DroppedEvents(), kThreads * (kSpansPerThread - kCap));
+  // The drop tally is mirrored into the metrics registry.
+  EXPECT_GE(Registry::Global().GetCounter("trace.dropped_events").Value(),
+            kThreads * (kSpansPerThread - kCap));
+
+  sink.SetMaxEventsPerThread(TraceSink::kDefaultMaxEvents);
+  sink.Clear();
+}
+
 #ifdef PARAPLL_TEST_HAVE_SOCKETS
 
 // Raw-socket HTTP GET against 127.0.0.1:port; returns the full response.
@@ -315,6 +373,115 @@ TEST(StatsServerTest, MetricsScrapeCollectsProbes) {
   EXPECT_NE(metrics.find("parapll_test_http_probe 99"), std::string::npos)
       << metrics;
   server.Stop();
+}
+
+TEST(StatsServerTest, HealthzReportsJsonWithIndexInfo) {
+  HealthInfo info;
+  info.index_fingerprint = 123456789;
+  info.index_format_version = 3;
+  info.index_mode = "parallel";
+  info.num_vertices = 1234;
+  info.roots_completed = 1234;
+  SetProcessHealthInfo(info);
+
+  StatsServer server;
+  server.Start();
+  const std::string health = HttpGet(server.Port(), "/healthz");
+  server.Stop();
+
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("application/json"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"version\":\""), std::string::npos);
+  EXPECT_NE(health.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(health.find("\"fingerprint\":123456789"), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"mode\":\"parallel\""), std::string::npos);
+  EXPECT_NE(health.find("\"num_vertices\":1234"), std::string::npos);
+
+  // Reset to the no-index state so other tests see "index":"none".
+  SetProcessHealthInfo(HealthInfo{});
+}
+
+// Satellite (c): scrapes must stay well-formed while the registry is
+// being mutated — new metrics appearing mid-scrape, counters bumping,
+// exemplar slots being rewritten.
+TEST(StatsServerTest, ConcurrentScrapesRaceRegistryMutation) {
+  StatsServer server;
+  server.Start();
+  ASSERT_GT(server.Port(), 0);
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&stop] {
+    std::uint64_t i = 0;
+    // relaxed: plain shutdown flag; join() below orders everything else.
+    while (!stop.load(std::memory_order_relaxed)) {
+      Registry::Global()
+          .GetCounter("test.race.counter." + std::to_string(i % 8))
+          .Add(1);
+      Registry::Global().GetHistogram("test.race.hist").RecordWithExemplar(
+          i % 100, MakeContextId(ContextKind::kQueryBatch, i));
+      Registry::Global().GetGauge("test.race.gauge").Set(
+          static_cast<double>(i));
+      ++i;
+    }
+  });
+
+  constexpr int kScrapeThreads = 3;
+  constexpr int kScrapesEach = 5;
+  std::atomic<int> ok_scrapes{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < kScrapeThreads; ++t) {
+    scrapers.emplace_back([&ok_scrapes, port = server.Port()] {
+      for (int i = 0; i < kScrapesEach; ++i) {
+        const std::string response = HttpGet(port, "/metrics");
+        if (response.find("HTTP/1.1 200 OK") != std::string::npos &&
+            response.find("parapll_") != std::string::npos) {
+          // relaxed: independent tally, read only after join().
+          ok_scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : scrapers) {
+    thread.join();
+  }
+  // relaxed: shutdown flag; join() provides the ordering.
+  stop.store(true, std::memory_order_relaxed);
+  mutator.join();
+  server.Stop();
+
+  EXPECT_EQ(ok_scrapes.load(), kScrapeThreads * kScrapesEach);
+}
+
+TEST(StatsServerTest, DebugProfileEndpointReturnsCollapsedStacks) {
+  if (!Profiler::Supported()) {
+    GTEST_SKIP() << "profiler unsupported on this platform";
+  }
+  StatsServer server;
+  server.Start();
+
+  // Burn CPU while the 1-second capture runs so ITIMER_PROF actually
+  // fires (it counts process CPU time, and the request thread sleeps).
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] {
+    volatile std::uint64_t sink = 0;
+    // relaxed: plain shutdown flag; join() below orders everything else.
+    while (!stop.load(std::memory_order_relaxed)) {
+      sink = sink * 31 + 7;
+    }
+  });
+  const std::string response =
+      HttpGet(server.Port(), "/debug/profile?seconds=1");
+  // relaxed: shutdown flag; join() provides the ordering.
+  stop.store(true, std::memory_order_relaxed);
+  burner.join();
+  server.Stop();
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  // Collapsed-text header line precedes the stacks.
+  EXPECT_NE(response.find("# samples "), std::string::npos) << response;
+  EXPECT_NE(response.find(" hz 97 "), std::string::npos) << response;
 }
 
 #endif  // PARAPLL_TEST_HAVE_SOCKETS

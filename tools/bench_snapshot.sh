@@ -1,13 +1,35 @@
 #!/bin/sh
 # Perf-trajectory snapshot: builds a fixed seeded graph with the parallel
 # indexer and measures batched query throughput, then emits both numbers
-# as BENCH_4.json so successive commits have comparable data points.
+# as BENCH_<N>.json so successive commits have comparable data points.
 #
 # Usage: bench_snapshot.sh <path-to-parapll_cli> [out.json]
+#
+# Without an explicit output path the snapshot auto-numbers itself from
+# the BENCH_*.json files committed in the repo root: the next file after
+# BENCH_4.json..BENCH_6.json is BENCH_7.json. Compare snapshots with
+# tools/bench_compare.py.
 set -eu
 
 CLI="$1"
-OUT="${2:-BENCH_4.json}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+if [ "$#" -ge 2 ]; then
+  OUT="$2"
+else
+  NEXT=1
+  for f in "$REPO_ROOT"/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    n="${f##*BENCH_}"
+    n="${n%.json}"
+    case "$n" in
+      *[!0-9]*) continue ;;
+    esac
+    if [ "$n" -ge "$NEXT" ]; then
+      NEXT=$((n + 1))
+    fi
+  done
+  OUT="$REPO_ROOT/BENCH_${NEXT}.json"
+fi
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -43,7 +65,7 @@ if batched is None or per_call is None:
     sys.exit("query-bench output missing throughput lines")
 
 snapshot = {
-    "bench": "parapll_pr4_snapshot",
+    "bench": "parapll_bench_snapshot",
     "workload": {
         "dataset": "Epinions",
         "scale": 0.2,

@@ -45,11 +45,21 @@ printf '1 2\n3 4\n' | "$CLI" query --index "$WORK/g.zindex" --compact \
 "$CLI" generate --dataset Gnutella --scale 0.2 --seed 7 --out "$WORK/big.txt"
 "$CLI" build --graph "$WORK/big.txt" --mode parallel --threads 2 \
   --out "$WORK/g2.index" \
-  --telemetry-jsonl "$WORK/telemetry.jsonl" --telemetry-period-ms 1
+  --telemetry-jsonl "$WORK/telemetry.jsonl" --telemetry-period-ms 1 \
+  --profile "$WORK/build.collapsed" --profile-hz 1000 \
+  --metrics-json "$WORK/build_metrics.json"
 [ "$(wc -l < "$WORK/telemetry.jsonl")" -ge 2 ]
 grep -q '"rss_bytes":' "$WORK/telemetry.jsonl"
 grep -q '"counters":' "$WORK/telemetry.jsonl"
 grep -q '"store.memory_bytes":' "$WORK/telemetry.jsonl"
+
+# Profiler smoke: a dense-rate capture over the big parallel build must
+# leave non-empty collapsed stacks ("frame;frame;... count" lines) and
+# publish profile.* attribution metrics into the metrics snapshot.
+[ -s "$WORK/build.collapsed" ]
+grep -q ' [0-9][0-9]*$' "$WORK/build.collapsed"
+grep -q '"profile.samples":' "$WORK/build_metrics.json"
+grep -q '"profile.hot.0.kind":2' "$WORK/build_metrics.json"
 
 # Slow-query log: threshold 0 forces a record per query.
 "$CLI" query-bench --index "$WORK/g.index" --pairs 200 --threads 2 \

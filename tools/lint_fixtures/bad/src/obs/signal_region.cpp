@@ -1,0 +1,15 @@
+// Fixture: non-async-signal-safe calls inside a marked handler region.
+#include <cstdlib>
+#include <string>
+
+extern thread_local int t_depth;
+
+// parapll-lint: begin-signal-context
+extern "C" void BadHandler(int) {
+  void* scratch = malloc(64);       // allocation in a signal handler
+  std::string label = "profiler";   // allocates and may throw
+  int* leak = new int(7);           // operator new is not signal-safe
+  delete leak;
+  std::free(scratch);
+}
+// parapll-lint: end-signal-context

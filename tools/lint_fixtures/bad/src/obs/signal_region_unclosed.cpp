@@ -1,0 +1,6 @@
+// Fixture: a begin marker that is never closed must be flagged even if
+// the code inside looks clean.
+// parapll-lint: begin-signal-context
+extern "C" void UnclosedHandler(int) {
+  // nothing banned here; the unbalanced marker is the finding
+}

@@ -1,0 +1,18 @@
+// Fixture: C++14 digit separators (10'000) are not char literals. A
+// naive quote scanner would enter char-literal state at the separator
+// and swallow the justification comment below, producing a spurious
+// memory-order finding.
+#include <atomic>
+
+inline constexpr unsigned long kBudgetNs = 20'000'000'000UL;
+
+extern std::atomic<unsigned long> g_spent;
+
+inline bool OverBudget() {
+  if (kBudgetNs < 1'000'000) {
+    return false;
+  }
+  // relaxed: monotonic statistic; staleness only delays the cutoff by
+  // one check.
+  return g_spent.load(std::memory_order_relaxed) > kBudgetNs;
+}

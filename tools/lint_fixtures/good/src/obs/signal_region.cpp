@@ -1,0 +1,26 @@
+// Fixture: an async-signal-safe handler region passes, and banned
+// tokens outside the region (here: plain stdio in ordinary code) are
+// not the signal rule's business.
+#include <cerrno>
+#include <cstdio>
+
+extern "C" int backtrace(void** frames, int depth);
+
+extern thread_local unsigned long t_sample_count;
+
+// parapll-lint: begin-signal-context
+extern "C" void GoodHandler(int) {
+  const int saved_errno = errno;
+  void* frames[32];
+  const int depth = backtrace(frames, 32);
+  if (depth > 0) {
+    ++t_sample_count;
+  }
+  errno = saved_errno;
+}
+// parapll-lint: end-signal-context
+
+void DrainReport() {
+  // Outside the region: stdio is fine here (not a hot-path file either).
+  std::printf("samples: %lu\n", t_sample_count);
+}

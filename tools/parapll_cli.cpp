@@ -25,11 +25,26 @@
 
 #include "build/checkpoint.hpp"
 #include "core/parapll.hpp"
+#include "obs/profiler.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
 using namespace parapll;
+
+// /healthz identity: which index this process is serving. Called from the
+// loading funnel and after a fresh build, so a long-lived process behind
+// --stats-port always reports the manifest it answers from.
+void PublishHealthInfo(const pll::Index& index) {
+  const pll::BuildManifest& manifest = index.Manifest();
+  obs::HealthInfo info;
+  info.index_fingerprint = manifest.graph_fingerprint;
+  info.index_format_version = manifest.format_version;
+  info.index_mode = manifest.mode.empty() ? "unknown" : manifest.mode;
+  info.num_vertices = index.NumVertices();
+  info.roots_completed = manifest.roots_completed;
+  obs::SetProcessHealthInfo(info);
+}
 
 int Usage() {
   std::fputs(
@@ -55,6 +70,10 @@ int Usage() {
       "  --telemetry-jsonl FILE  stream periodic samples (registry + RSS/\n"
       "                        CPU/threads) as JSON lines while running\n"
       "  --telemetry-period-ms N  sampling period (default 100)\n"
+      "  --profile FILE        sample the whole run with the SIGPROF CPU\n"
+      "                        profiler; write collapsed stacks to FILE\n"
+      "                        (pipe through flamegraph.pl)\n"
+      "  --profile-hz N        profiler sample rate (default 97)\n"
       "  --stats-port N        serve Prometheus /metrics and /healthz on\n"
       "                        127.0.0.1:N (0 = ephemeral, printed)\n"
       "  --slow-query-log FILE   query-bench: JSONL of slow queries\n"
@@ -65,14 +84,18 @@ int Usage() {
 }
 
 pll::Index LoadIndex(const std::string& path, bool compact) {
-  if (!compact) {
-    return pll::Index::LoadFile(path);
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("cannot open " + path);
-  }
-  return pll::ReadCompactIndex(in);
+  pll::Index index = [&] {
+    if (!compact) {
+      return pll::Index::LoadFile(path);
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("cannot open " + path);
+    }
+    return pll::ReadCompactIndex(in);
+  }();
+  PublishHealthInfo(index);
+  return index;
 }
 
 int CmdGenerate(util::ArgParser& args) {
@@ -118,6 +141,7 @@ int CmdBuild(util::ArgParser& args) {
 
   BuildReport report;
   const pll::Index index = builder.Build(g, &report);
+  PublishHealthInfo(index);
   // With metrics on, sample a batch of random queries so a single build
   // run also yields a query-latency histogram in the snapshot.
   if (obs::MetricsEnabled() && index.NumVertices() > 0) {
@@ -358,6 +382,8 @@ int main(int argc, char** argv) {
       .Flag("trace", "", "write Chrome-trace JSON (any command)")
       .Flag("telemetry-jsonl", "", "stream periodic telemetry JSON lines")
       .Flag("telemetry-period-ms", "100", "telemetry sampling period")
+      .Flag("profile", "", "write collapsed profiler stacks (any command)")
+      .Flag("profile-hz", "97", "profiler samples per CPU-second")
       .Flag("stats-port", "-1",
             "serve /metrics + /healthz on 127.0.0.1:N (0 = ephemeral)")
       .Flag("slow-query-log", "", "slow-query JSONL (query-bench)")
@@ -375,9 +401,16 @@ int main(int argc, char** argv) {
                          !args.GetString("slow-query-log").empty());
   obs::SetTracingEnabled(!trace_path.empty());
 
+  const std::string profile_path = args.GetString("profile");
   std::optional<obs::TelemetrySampler> sampler;
   std::optional<obs::StatsServer> server;
   try {
+    if (!profile_path.empty()) {
+      obs::ProfilerOptions profiler_options;
+      profiler_options.sample_hz = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(args.GetInt("profile-hz"), 1));
+      obs::Profiler::Global().Start(profiler_options);
+    }
     if (telemetry_on) {
       obs::TelemetryOptions telemetry_options;
       telemetry_options.period = std::chrono::milliseconds(
@@ -405,6 +438,26 @@ int main(int argc, char** argv) {
   // hook below, when a long run is interrupted with SIGINT/SIGTERM).
   auto flush_obs = [&]() -> bool {
     bool ok = true;
+    // Profiler first: Stop() publishes profile.* metrics, so a snapshot
+    // written below carries the sample/drop counters of this capture.
+    if (!profile_path.empty() && obs::Profiler::Global().Running()) {
+      try {
+        const obs::ProfileReport report = obs::Profiler::Global().Stop();
+        std::ofstream out(profile_path);
+        if (!out) {
+          throw std::runtime_error("cannot open " + profile_path);
+        }
+        report.WriteCollapsed(out);
+        std::fprintf(stderr,
+                     "profile (%llu samples, %llu dropped, %zu stacks) -> %s\n",
+                     static_cast<unsigned long long>(report.samples),
+                     static_cast<unsigned long long>(report.dropped),
+                     report.stacks.size(), profile_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        ok = false;
+      }
+    }
     if (sampler) {
       try {
         sampler->Stop();  // takes a final sample and flushes the JSONL

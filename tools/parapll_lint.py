@@ -31,6 +31,14 @@ hot-path-banned-call
     the concurrent label store, the root loop) must not call stdio /
     iostream / allocation-by-hand routines.
 
+signal-context-banned-call
+    Code between `// parapll-lint: begin-signal-context` and
+    `// parapll-lint: end-signal-context` markers runs inside a signal
+    handler and may only use async-signal-safe constructs: no
+    allocation (`new` / `malloc`), no locks, no stdio, no std::string,
+    no exceptions, no `backtrace_symbols` (it allocates — symbolize on
+    drain instead). Unbalanced markers are themselves findings.
+
 Usage
 -----
     tools/parapll_lint.py [--root DIR] [--json] [files...]
@@ -61,6 +69,8 @@ NAKED_NEW_ALLOWLIST = {
     "src/obs/metrics.cpp",
     "src/obs/trace.cpp",
     "src/obs/telemetry.cpp",
+    "src/obs/expose.cpp",
+    "src/obs/profiler.cpp",
 }
 
 # The annotated wrappers themselves, plus the one documented exception
@@ -110,6 +120,19 @@ HOT_BANNED_TOKENS = (
     "free(",
     "getenv(",
     "system(",
+)
+
+SIGNAL_BEGIN_MARKER = "parapll-lint: begin-signal-context"
+SIGNAL_END_MARKER = "parapll-lint: end-signal-context"
+# Constructs that are not async-signal-safe. `new` / `delete` are caught
+# separately via NAKED_NEW_RE because signal-context files are usually on
+# the naked-new allowlist (leaked singletons elsewhere in the file).
+SIGNAL_BANNED_RE = re.compile(
+    r"\b(malloc|calloc|realloc|free|printf|puts|fopen|fwrite|fputs"
+    r"|throw|backtrace_symbols)\b"
+    r"|std::(cout|cerr|string|mutex|lock_guard|unique_lock|scoped_lock"
+    r"|condition_variable)"
+    r"|util::Mutex|MutexLock|CondVar"
 )
 
 MEMORY_ORDER_RE = re.compile(r"\bstd::memory_order_\w+")
@@ -197,6 +220,14 @@ def strip_line_states(text: str) -> list[SourceLine]:
                 i += 1
                 continue
             if ch == "'":
+                prev = code_chars[-1] if code_chars else ""
+                if prev.isalnum() or prev == "_":
+                    # C++14 digit separator (10'000), not a char literal;
+                    # treating it as one would swallow the rest of the
+                    # line — including justification comments.
+                    code_chars.append("'")
+                    i += 1
+                    continue
                 state = "char"
                 code_chars.append("'")
                 i += 1
@@ -351,12 +382,77 @@ def check_hot_path(rel: str, lines: list[SourceLine]) -> list[Finding]:
     return out
 
 
+def check_signal_context(rel: str, lines: list[SourceLine]) -> list[Finding]:
+    out = []
+    inside = False
+    begin_line = 0
+    for idx, line in enumerate(lines, start=1):
+        if SIGNAL_BEGIN_MARKER in line.raw:
+            if inside:
+                out.append(
+                    Finding(
+                        rel,
+                        idx,
+                        "signal-context-banned-call",
+                        "nested begin-signal-context marker (previous "
+                        f"region opened on line {begin_line})",
+                    )
+                )
+            inside = True
+            begin_line = idx
+            continue
+        if SIGNAL_END_MARKER in line.raw:
+            if not inside:
+                out.append(
+                    Finding(
+                        rel,
+                        idx,
+                        "signal-context-banned-call",
+                        "end-signal-context marker without a matching begin",
+                    )
+                )
+            inside = False
+            continue
+        if not inside:
+            continue
+        m = SIGNAL_BANNED_RE.search(line.code)
+        if m is None:
+            naked = NAKED_NEW_RE.search(line.code)
+            if naked is None:
+                continue
+            token = naked.group(1)
+        else:
+            token = m.group(0)
+        out.append(
+            Finding(
+                rel,
+                idx,
+                "signal-context-banned-call",
+                f"`{token}` inside a signal-handler region: only "
+                "async-signal-safe constructs are allowed (no allocation, "
+                "locks, stdio, std::string, exceptions, or "
+                "backtrace_symbols)",
+            )
+        )
+    if inside:
+        out.append(
+            Finding(
+                rel,
+                begin_line,
+                "signal-context-banned-call",
+                "begin-signal-context marker never closed",
+            )
+        )
+    return out
+
+
 RULES = (
     check_naked_new,
     check_memory_order,
     check_raw_sync,
     check_include_hygiene,
     check_hot_path,
+    check_signal_context,
 )
 
 
