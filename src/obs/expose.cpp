@@ -7,13 +7,14 @@
 #include <stdexcept>
 #include <thread>
 
-#if defined(__unix__) || defined(__APPLE__)
+#include "util/net.hpp"  // defines PARAPLL_HAVE_SOCKETS where sockets exist
+
+#ifdef PARAPLL_HAVE_SOCKETS
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
-#define PARAPLL_HAVE_SOCKETS 1
 #endif
 
 #include "obs/profiler.hpp"
@@ -172,7 +173,14 @@ void StatsServer::Start() {
                              std::to_string(options_.port));
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    // Without the resolved port an ephemeral-port server is unreachable;
+    // fail Start() cleanly rather than reporting port 0 / garbage.
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("stats server: getsockname() failed");
+  }
   port_ = ntohs(addr.sin_port);
   start_ns_ = TraceNowNs();
   // release: publishes port_/start_ns_ to threads that observe
@@ -226,39 +234,50 @@ void StatsServer::Serve(int listen_fd) {
 }
 
 void StatsServer::Handle(int client_fd) {
-  // Read the request head (we only need the request line).
+  // Read the request head (we only need the request line). EINTR is
+  // routine here — the SIGPROF profiler interrupts poll/recv/send at
+  // sample rate — so the util::net helpers retry it; only timeouts,
+  // real errors, and orderly shutdown drop the client.
+  constexpr std::size_t kMaxRequestLineBytes = 16 * 1024;
   std::string request;
   char buf[2048];
-  for (;;) {
+  bool have_line = false;
+  while (!have_line) {
     pollfd pfd{client_fd, POLLIN, 0};
-    if (::poll(&pfd, 1, /*timeout_ms=*/500) <= 0) {
-      return;  // slow or dead client: drop it
+    if (util::PollRetry(&pfd, 1, /*timeout_ms=*/500) <= 0) {
+      return;  // genuinely slow or dead client: drop it
     }
-    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    const ssize_t n = util::RecvRetry(client_fd, buf, sizeof(buf));
     if (n <= 0) {
       return;
     }
     request.append(buf, static_cast<std::size_t>(n));
-    if (request.find("\r\n") != std::string::npos ||
-        request.size() > 16 * 1024) {
-      break;
+    have_line = request.find("\r\n") != std::string::npos;
+    if (!have_line && request.size() > kMaxRequestLineBytes) {
+      break;  // unterminated request line: answer 400 below, never parse
     }
   }
-  std::istringstream line(request.substr(0, request.find("\r\n")));
+
   std::string method;
   std::string path;
-  line >> method >> path;
   std::string query;
-  const std::size_t question = path.find('?');
-  if (question != std::string::npos) {
-    query = path.substr(question + 1);
-    path = path.substr(0, question);
+  if (have_line) {
+    std::istringstream line(request.substr(0, request.find("\r\n")));
+    line >> method >> path;
+    const std::size_t question = path.find('?');
+    if (question != std::string::npos) {
+      query = path.substr(question + 1);
+      path = path.substr(0, question);
+    }
   }
 
   std::string body;
   std::string status = "200 OK";
   std::string content_type = "text/plain; charset=utf-8";
-  if (method != "GET") {
+  if (!have_line) {
+    status = "400 Bad Request";
+    body = "request line exceeds 16 KiB without CRLF\n";
+  } else if (method != "GET") {
     status = "405 Method Not Allowed";
     body = "only GET is supported\n";
   } else if (path == "/metrics") {
@@ -306,21 +325,9 @@ void StatsServer::Handle(int client_fd) {
            << "Content-Length: " << body.size() << "\r\n"
            << "Connection: close\r\n\r\n"
            << body;
-  const std::string& out = response.str();
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n = ::send(client_fd, out.data() + sent, out.size() - sent,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n <= 0) {
-      return;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
+  // SendAll retries EINTR and short writes; a dead peer just ends the
+  // exchange (the connection is closed by the caller either way).
+  (void)util::SendAll(client_fd, response.str());
 }
 
 void StatsServer::HandleDebugProfile(const std::string& query,

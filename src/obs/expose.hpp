@@ -46,7 +46,7 @@ namespace parapll::obs {
 class TelemetrySampler;
 
 // Process version reported by /healthz; tracks the repo's PR trajectory.
-inline constexpr const char* kParaPllVersion = "0.6.0";
+inline constexpr const char* kParaPllVersion = "0.7.0";
 
 // What /healthz reports about the index this process serves. The obs
 // layer stays independent of pll::BuildManifest: whoever loads or builds

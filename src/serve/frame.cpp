@@ -1,0 +1,220 @@
+#include "serve/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace parapll::serve {
+
+namespace {
+
+void AppendU32(std::string& out, std::uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, sizeof(v));
+  out.append(bytes, sizeof(bytes));
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, sizeof(v));
+  out.append(bytes, sizeof(bytes));
+}
+
+std::uint32_t ReadU32(std::string_view bytes, std::size_t pos) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, bytes.data() + pos, sizeof(v));
+  return v;
+}
+
+std::uint64_t ReadU64(std::string_view bytes, std::size_t pos) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + pos, sizeof(v));
+  return v;
+}
+
+// Prepends the length prefix once a payload is fully built.
+std::string Framed(std::string payload) {
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  AppendU32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+[[noreturn]] void Fail(const char* what) {
+  throw std::runtime_error(std::string("serve frame: ") + what);
+}
+
+}  // namespace
+
+std::string EncodeDistanceRequest(std::span<const query::QueryPair> pairs) {
+  if (pairs.size() > kMaxPairsPerRequest) {
+    throw std::invalid_argument(
+        "serve frame: request exceeds kMaxPairsPerRequest");
+  }
+  std::string payload;
+  payload.reserve(4 + 1 + 4 + pairs.size() * 8);
+  AppendU32(payload, kRequestMagic);
+  payload.push_back(
+      static_cast<char>(RequestType::kDistanceQuery));
+  AppendU32(payload, static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& [s, t] : pairs) {
+    AppendU32(payload, s);
+    AppendU32(payload, t);
+  }
+  return Framed(std::move(payload));
+}
+
+std::string EncodeInfoRequest() {
+  std::string payload;
+  AppendU32(payload, kRequestMagic);
+  payload.push_back(static_cast<char>(RequestType::kInfo));
+  return Framed(std::move(payload));
+}
+
+std::string EncodeOkResponse(std::span<const graph::Distance> distances) {
+  if (distances.size() > kMaxPairsPerRequest) {
+    throw std::invalid_argument(
+        "serve frame: response exceeds kMaxPairsPerRequest");
+  }
+  std::string payload;
+  payload.reserve(4 + 1 + 4 + distances.size() * 8);
+  AppendU32(payload, kResponseMagic);
+  payload.push_back(static_cast<char>(ResponseStatus::kOk));
+  AppendU32(payload, static_cast<std::uint32_t>(distances.size()));
+  for (const graph::Distance d : distances) {
+    AppendU64(payload, d);
+  }
+  return Framed(std::move(payload));
+}
+
+std::string EncodeStatusResponse(ResponseStatus status) {
+  std::string payload;
+  AppendU32(payload, kResponseMagic);
+  payload.push_back(static_cast<char>(status));
+  return Framed(std::move(payload));
+}
+
+std::string EncodeInfoResponse(const ServerInfo& info) {
+  std::string payload;
+  AppendU32(payload, kResponseMagic);
+  payload.push_back(static_cast<char>(ResponseStatus::kInfo));
+  AppendU32(payload, info.num_vertices);
+  AppendU64(payload, info.fingerprint);
+  AppendU64(payload, info.hot_swaps);
+  return Framed(std::move(payload));
+}
+
+Request DecodeRequestPayload(std::string_view payload) {
+  if (payload.size() < 5) {
+    Fail("request payload shorter than header");
+  }
+  if (ReadU32(payload, 0) != kRequestMagic) {
+    Fail("bad request magic");
+  }
+  Request request;
+  const auto type = static_cast<std::uint8_t>(payload[4]);
+  switch (type) {
+    case static_cast<std::uint8_t>(RequestType::kDistanceQuery): {
+      request.type = RequestType::kDistanceQuery;
+      if (payload.size() < 9) {
+        Fail("DISTANCE_QUERY truncated before count");
+      }
+      const std::uint32_t count = ReadU32(payload, 5);
+      if (count > kMaxPairsPerRequest) {
+        Fail("pair count exceeds kMaxPairsPerRequest");
+      }
+      // Exact-size check before the reserve: the allocation below is
+      // bounded by bytes actually delivered, never by the declared count.
+      if (payload.size() != 9 + std::size_t{count} * 8) {
+        Fail("DISTANCE_QUERY size does not match pair count");
+      }
+      request.pairs.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::size_t at = 9 + std::size_t{i} * 8;
+        request.pairs.emplace_back(ReadU32(payload, at),
+                                   ReadU32(payload, at + 4));
+      }
+      return request;
+    }
+    case static_cast<std::uint8_t>(RequestType::kInfo): {
+      request.type = RequestType::kInfo;
+      if (payload.size() != 5) {
+        Fail("INFO request carries trailing bytes");
+      }
+      return request;
+    }
+    default:
+      Fail("unknown request type");
+  }
+}
+
+Response DecodeResponsePayload(std::string_view payload) {
+  if (payload.size() < 5) {
+    Fail("response payload shorter than header");
+  }
+  if (ReadU32(payload, 0) != kResponseMagic) {
+    Fail("bad response magic");
+  }
+  Response response;
+  const auto status = static_cast<std::uint8_t>(payload[4]);
+  switch (status) {
+    case static_cast<std::uint8_t>(ResponseStatus::kOk): {
+      response.status = ResponseStatus::kOk;
+      if (payload.size() < 9) {
+        Fail("OK response truncated before count");
+      }
+      const std::uint32_t count = ReadU32(payload, 5);
+      if (count > kMaxPairsPerRequest) {
+        Fail("distance count exceeds kMaxPairsPerRequest");
+      }
+      if (payload.size() != 9 + std::size_t{count} * 8) {
+        Fail("OK response size does not match distance count");
+      }
+      response.distances.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        response.distances.push_back(ReadU64(payload, 9 + std::size_t{i} * 8));
+      }
+      return response;
+    }
+    case static_cast<std::uint8_t>(ResponseStatus::kShed):
+    case static_cast<std::uint8_t>(ResponseStatus::kBadRequest): {
+      response.status = static_cast<ResponseStatus>(status);
+      if (payload.size() != 5) {
+        Fail("empty-body response carries trailing bytes");
+      }
+      return response;
+    }
+    case static_cast<std::uint8_t>(ResponseStatus::kInfo): {
+      response.status = ResponseStatus::kInfo;
+      if (payload.size() != 5 + 4 + 8 + 8) {
+        Fail("INFO response has wrong size");
+      }
+      response.info.num_vertices = ReadU32(payload, 5);
+      response.info.fingerprint = ReadU64(payload, 9);
+      response.info.hot_swaps = ReadU64(payload, 17);
+      return response;
+    }
+    default:
+      Fail("unknown response status");
+  }
+}
+
+bool FrameReader::Next(std::string& payload) {
+  if (buffer_.size() < 4) {
+    return false;
+  }
+  const std::uint32_t declared = ReadU32(buffer_, 0);
+  if (declared > max_payload_) {
+    // Checked before waiting for (or buffering) `declared` bytes: a
+    // hostile length prefix can never grow this connection's buffer.
+    Fail("declared frame length exceeds the payload cap");
+  }
+  if (buffer_.size() < 4 + std::size_t{declared}) {
+    return false;
+  }
+  payload.assign(buffer_, 4, declared);
+  buffer_.erase(0, 4 + std::size_t{declared});
+  return true;
+}
+
+}  // namespace parapll::serve

@@ -1,0 +1,127 @@
+// parapll_serve wire format: compact length-prefixed binary frames.
+//
+// Everything is little-endian. A frame is
+//
+//   u32 payload_len | payload_len bytes of payload
+//
+// and a payload starts with a magic + a one-byte discriminator:
+//
+//   request  = u32 kRequestMagic  | u8 RequestType  | body
+//   response = u32 kResponseMagic | u8 ResponseStatus | body
+//
+//   DISTANCE_QUERY body: u32 count | count x (u32 s, u32 t)
+//   OK body:             u32 count | count x u64 distance
+//   INFO response body:  u32 num_vertices | u64 fingerprint | u64 hot_swaps
+//   SHED / BAD_REQUEST / INFO request: empty body
+//
+// Decoding follows the repo's untrusted-wire discipline (see
+// corrupt_input_test): magic, discriminator, and count are validated
+// before anything is allocated, counts are hard-capped at
+// kMaxPairsPerRequest, payload sizes must match the declared count
+// *exactly* (truncation and trailing bytes both throw), and every
+// malformation surfaces as a recoverable std::runtime_error — never an
+// abort or an attacker-sized reserve. FrameReader enforces the payload
+// cap on the declared length *before* buffering toward it, so a hostile
+// length prefix cannot balloon a connection's buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "query/query_engine.hpp"
+
+namespace parapll::serve {
+
+inline constexpr std::uint32_t kRequestMagic = 0x71725031;   // "1Prq"
+inline constexpr std::uint32_t kResponseMagic = 0x71735031;  // "1Psq"
+
+// Hard cap on (s, t) pairs in one DISTANCE_QUERY — and therefore on
+// distances in one OK response. Anything larger must be split client-side.
+inline constexpr std::uint32_t kMaxPairsPerRequest = 65536;
+
+// Largest legal payloads, derived from the cap: magic + type/status byte
+// [+ count + count * sizeof(element)].
+inline constexpr std::size_t kMaxRequestPayload =
+    4 + 1 + 4 + std::size_t{kMaxPairsPerRequest} * 8;
+inline constexpr std::size_t kMaxResponsePayload =
+    4 + 1 + 4 + std::size_t{kMaxPairsPerRequest} * 8;
+
+enum class RequestType : std::uint8_t {
+  kDistanceQuery = 1,  // N (s, t) pairs -> N distances
+  kInfo = 2,           // what index is this process serving?
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,          // distances, one per requested pair, in order
+  kShed = 1,        // admission queue over budget: retry later
+  kBadRequest = 2,  // malformed frame or out-of-range vertex id
+  kInfo = 3,        // answer to RequestType::kInfo
+};
+
+struct Request {
+  RequestType type = RequestType::kDistanceQuery;
+  std::vector<query::QueryPair> pairs;  // DISTANCE_QUERY only
+};
+
+// INFO response body: enough for a client to generate valid queries and
+// for tests to observe hot swaps without scraping metrics.
+struct ServerInfo {
+  std::uint32_t num_vertices = 0;
+  std::uint64_t fingerprint = 0;  // BuildManifest graph fingerprint
+  std::uint64_t hot_swaps = 0;
+};
+
+struct Response {
+  ResponseStatus status = ResponseStatus::kOk;
+  std::vector<graph::Distance> distances;  // kOk only
+  ServerInfo info;                         // kInfo only
+};
+
+// --- encoding (always produces a complete frame, length prefix included) ---
+
+// Throws std::invalid_argument when pairs.size() > kMaxPairsPerRequest.
+[[nodiscard]] std::string EncodeDistanceRequest(
+    std::span<const query::QueryPair> pairs);
+[[nodiscard]] std::string EncodeInfoRequest();
+
+[[nodiscard]] std::string EncodeOkResponse(
+    std::span<const graph::Distance> distances);
+// kShed / kBadRequest (empty-body statuses).
+[[nodiscard]] std::string EncodeStatusResponse(ResponseStatus status);
+[[nodiscard]] std::string EncodeInfoResponse(const ServerInfo& info);
+
+// --- decoding (payload = frame minus the length prefix) -------------------
+
+// Both throw std::runtime_error on any malformation: bad magic, unknown
+// discriminator, count over the cap, truncated body, or trailing bytes.
+[[nodiscard]] Request DecodeRequestPayload(std::string_view payload);
+[[nodiscard]] Response DecodeResponsePayload(std::string_view payload);
+
+// Incremental frame assembly over an arbitrary byte stream (a socket read
+// loop feeds whatever recv returned). Append() buffers bytes; Next() pops
+// the next complete payload, validating the declared length against
+// `max_payload` as soon as the 4-byte prefix is visible.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload) : max_payload_(max_payload) {}
+
+  void Append(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  // True when a complete payload was popped into `payload`. Throws
+  // std::runtime_error when the buffered length prefix exceeds
+  // max_payload (the stream is unframeable from here on).
+  bool Next(std::string& payload);
+
+  [[nodiscard]] std::size_t BufferedBytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_payload_;
+  std::string buffer_;
+};
+
+}  // namespace parapll::serve

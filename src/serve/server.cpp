@@ -1,0 +1,595 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "util/net.hpp"  // defines PARAPLL_HAVE_SOCKETS where sockets exist
+
+#ifdef PARAPLL_HAVE_SOCKETS
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "build/artifact.hpp"
+#include "obs/expose.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace parapll::serve {
+
+namespace {
+
+// "server.*" metric handles, cached once (Registry handles live for the
+// process). Schema documented in EXPERIMENTS.md.
+struct ServerMetrics {
+  obs::Counter& accepted =
+      obs::Registry::Global().GetCounter("server.accepted");
+  obs::Counter& requests =
+      obs::Registry::Global().GetCounter("server.requests");
+  obs::Counter& pairs = obs::Registry::Global().GetCounter("server.pairs");
+  obs::Counter& shed = obs::Registry::Global().GetCounter("server.shed");
+  obs::Counter& bad_requests =
+      obs::Registry::Global().GetCounter("server.bad_requests");
+  obs::Counter& idle_closed =
+      obs::Registry::Global().GetCounter("server.idle_closed");
+  obs::Counter& hot_swaps =
+      obs::Registry::Global().GetCounter("server.hot_swaps");
+  obs::Counter& reload_errors =
+      obs::Registry::Global().GetCounter("server.reload_errors");
+  obs::Gauge& connections =
+      obs::Registry::Global().GetGauge("server.connections");
+  obs::Gauge& queue_depth =
+      obs::Registry::Global().GetGauge("server.queue_depth");
+  obs::Histogram& request_latency =
+      obs::Registry::Global().GetHistogram("server.request_latency_ns");
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+// Per-connection state, owned (and touched) by the event-loop thread only.
+struct QueryServer::Connection {
+  int fd = -1;
+  FrameReader reader{kMaxRequestPayload};
+  // Write side: responses append here; FlushTo sends as the socket
+  // accepts, so a slow reader parks bytes instead of stalling the loop.
+  std::string outbuf;
+  std::size_t out_offset = 0;
+  std::uint64_t last_active_ns = 0;
+  bool closing = false;  // close as soon as outbuf drains
+  bool dead = false;     // fd closed; reaped at end of the iteration
+};
+
+// One admitted DISTANCE_QUERY waiting for the next coalesced batch.
+struct QueryServer::PendingRequest {
+  Connection* conn = nullptr;
+  std::uint64_t admitted_ns = 0;
+  std::vector<query::QueryPair> pairs;
+};
+
+QueryServer::QueryServer(pll::Index index, ServeOptions options)
+    : options_(std::move(options)) {
+  engine_options_.threads = std::max<std::size_t>(options_.engine_threads, 1);
+  engine_options_.min_pairs_per_shard = options_.min_pairs_per_shard;
+  util::MutexLock lock(mutex_);
+  served_ = std::make_shared<Served>(std::move(index), engine_options_);
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+ServeStats QueryServer::Stats() const {
+  ServeStats stats;
+  stats.accepted = accepted_.load();
+  stats.requests = requests_.load();
+  stats.answered_pairs = answered_pairs_.load();
+  stats.shed = shed_.load();
+  stats.bad_requests = bad_requests_.load();
+  stats.idle_closed = idle_closed_.load();
+  stats.hot_swaps = hot_swaps_.load();
+  stats.reload_errors = reload_errors_.load();
+  return stats;
+}
+
+std::shared_ptr<QueryServer::Served> QueryServer::Snapshot() const {
+  util::MutexLock lock(mutex_);
+  return served_;
+}
+
+ServerInfo QueryServer::InfoSnapshot() const {
+  const std::shared_ptr<Served> served = Snapshot();
+  ServerInfo info;
+  info.num_vertices = served->index.NumVertices();
+  info.fingerprint = served->index.Manifest().graph_fingerprint;
+  info.hot_swaps = hot_swaps_.load();
+  return info;
+}
+
+#ifdef PARAPLL_HAVE_SOCKETS
+
+void QueryServer::Start() {
+  util::MutexLock lock(mutex_);
+  // acquire: pairs with the release below; the lifecycle mutex already
+  // serializes concurrent Start/Stop.
+  if (running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("serve: socket() failed");
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0 || !util::SetNonBlocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot bind 127.0.0.1:" +
+                             std::to_string(options_.port));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  read_buf_.assign(std::size_t{64} * 1024, 0);
+  if (!options_.watch_path.empty()) {
+    // Baseline stamp: the constructor's index is treated as "what is on
+    // disk now"; only a later republish triggers a swap.
+    last_stamp_ = StampOf(options_.watch_path);
+  }
+  // release: publishes port_ to threads observing Running() == true.
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this, fd = listen_fd_] { EventLoop(fd); });
+  if (!options_.watch_path.empty()) {
+    watcher_ = std::thread([this] { Watch(); });
+  }
+}
+
+void QueryServer::Stop() {
+  // acq_rel: exactly one concurrent Stop() wins the exchange, and the
+  // winner's teardown happens after everything Start() published.
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  stop_cv_.NotifyAll();  // wake the watcher's poll sleep
+  std::thread loop;
+  std::thread watcher;
+  int fd = -1;
+  {
+    util::MutexLock lock(mutex_);
+    loop = std::move(loop_);
+    watcher = std::move(watcher_);
+    fd = listen_fd_;
+    listen_fd_ = -1;
+  }
+  if (loop.joinable()) {
+    loop.join();
+  }
+  if (watcher.joinable()) {
+    watcher.join();
+  }
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+void QueryServer::CloseConnection(Connection& conn) {
+  if (!conn.dead && conn.fd >= 0) {
+    ::close(conn.fd);
+  }
+  conn.fd = -1;
+  conn.dead = true;
+}
+
+void QueryServer::EnqueueResponse(Connection& conn, std::string frame) {
+  if (conn.dead) {
+    return;
+  }
+  if (conn.outbuf.empty()) {
+    conn.outbuf = std::move(frame);
+    conn.out_offset = 0;
+  } else {
+    conn.outbuf += frame;
+  }
+}
+
+void QueryServer::FlushTo(Connection& conn, std::uint64_t now_ns) {
+  if (conn.dead) {
+    return;
+  }
+  while (conn.out_offset < conn.outbuf.size()) {
+    const ssize_t n =
+        util::SendRetry(conn.fd, conn.outbuf.data() + conn.out_offset,
+                        conn.outbuf.size() - conn.out_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // socket full: the rest goes out on POLLOUT
+      }
+      CloseConnection(conn);
+      return;
+    }
+    if (n == 0) {
+      return;
+    }
+    conn.out_offset += static_cast<std::size_t>(n);
+    // Write progress counts as activity: a slow reader mid-download is
+    // not idle.
+    conn.last_active_ns = now_ns;
+  }
+  conn.outbuf.clear();
+  conn.out_offset = 0;
+  if (conn.closing) {
+    CloseConnection(conn);
+  }
+}
+
+void QueryServer::AcceptReady(
+    int listen_fd, std::vector<std::unique_ptr<Connection>>& conns) {
+  while (conns.size() < options_.max_connections) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      return;  // EAGAIN / EINTR / transient: poll again next iteration
+    }
+    if (!util::SetNonBlocking(client)) {
+      ::close(client);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = client;
+    conn->last_active_ns = obs::TraceNowNs();
+    conns.push_back(std::move(conn));
+    accepted_.fetch_add(1);
+    if (obs::MetricsEnabled()) {
+      Metrics().accepted.Add(1);
+    }
+  }
+}
+
+void QueryServer::ReadFrom(Connection& conn,
+                           std::vector<PendingRequest>& pending,
+                           std::uint64_t now_ns) {
+  const ssize_t n =
+      util::RecvRetry(conn.fd, read_buf_.data(), read_buf_.size());
+  if (n == 0) {
+    CloseConnection(conn);
+    return;
+  }
+  if (n < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      CloseConnection(conn);
+    }
+    return;
+  }
+  conn.last_active_ns = now_ns;
+  conn.reader.Append(read_buf_.data(), static_cast<std::size_t>(n));
+  std::string payload;
+  try {
+    while (!conn.dead && conn.reader.Next(payload)) {
+      Request request = DecodeRequestPayload(payload);
+      if (request.type == RequestType::kInfo) {
+        EnqueueResponse(conn, EncodeInfoResponse(InfoSnapshot()));
+        FlushTo(conn, now_ns);
+        continue;
+      }
+      requests_.fetch_add(1);
+      if (obs::MetricsEnabled()) {
+        Metrics().requests.Add(1);
+        Metrics().pairs.Add(request.pairs.size());
+      }
+      // Admission control: over-budget requests get an explicit SHED —
+      // the caller learns immediately instead of waiting in an unbounded
+      // queue. A single request larger than the budget always sheds.
+      if (loop_queued_pairs_ + request.pairs.size() >
+          options_.max_queued_pairs) {
+        shed_.fetch_add(1);
+        if (obs::MetricsEnabled()) {
+          Metrics().shed.Add(1);
+        }
+        EnqueueResponse(conn, EncodeStatusResponse(ResponseStatus::kShed));
+        FlushTo(conn, now_ns);
+        continue;
+      }
+      loop_queued_pairs_ += request.pairs.size();
+      pending.push_back(
+          PendingRequest{&conn, now_ns, std::move(request.pairs)});
+    }
+  } catch (const std::exception&) {
+    // A malformed frame loses the framing for good: answer BAD_REQUEST
+    // and close once the answer drains.
+    bad_requests_.fetch_add(1);
+    if (obs::MetricsEnabled()) {
+      Metrics().bad_requests.Add(1);
+    }
+    EnqueueResponse(conn, EncodeStatusResponse(ResponseStatus::kBadRequest));
+    conn.closing = true;
+    FlushTo(conn, now_ns);
+  }
+}
+
+void QueryServer::DrainPending(std::vector<PendingRequest>& pending) {
+  loop_queued_pairs_ = 0;
+  if (pending.empty()) {
+    if (obs::MetricsEnabled()) {
+      Metrics().queue_depth.Set(0.0);
+    }
+    return;
+  }
+  // One engine snapshot for the whole coalesced batch: a concurrent hot
+  // swap flips served_ for *future* iterations while this batch finishes
+  // on the engine it was admitted against.
+  const std::shared_ptr<Served> served = Snapshot();
+  const auto num_vertices =
+      static_cast<graph::VertexId>(served->index.NumVertices());
+
+  // Validate per request so one bad vertex id cannot poison the batch
+  // (QueryBatch throws on any out-of-range id, checked up front).
+  std::vector<bool> valid(pending.size(), false);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const PendingRequest& request = pending[i];
+    if (request.conn == nullptr || request.conn->dead) {
+      continue;  // client vanished while queued; drop silently
+    }
+    const bool in_range = std::all_of(
+        request.pairs.begin(), request.pairs.end(), [&](const auto& pair) {
+          return pair.first < num_vertices && pair.second < num_vertices;
+        });
+    if (!in_range) {
+      bad_requests_.fetch_add(1);
+      if (obs::MetricsEnabled()) {
+        Metrics().bad_requests.Add(1);
+      }
+      EnqueueResponse(*request.conn,
+                      EncodeStatusResponse(ResponseStatus::kBadRequest));
+      continue;
+    }
+    valid[i] = true;
+    total += request.pairs.size();
+  }
+  if (obs::MetricsEnabled()) {
+    Metrics().queue_depth.Set(static_cast<double>(total));
+  }
+
+  std::vector<query::QueryPair> all;
+  all.reserve(total);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (valid[i]) {
+      all.insert(all.end(), pending[i].pairs.begin(), pending[i].pairs.end());
+    }
+  }
+  std::vector<graph::Distance> out(all.size());
+  if (!all.empty()) {
+    served->engine.QueryBatch(all, out);
+  }
+
+  const std::uint64_t done_ns = obs::TraceNowNs();
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!valid[i]) {
+      continue;
+    }
+    PendingRequest& request = pending[i];
+    const std::size_t count = request.pairs.size();
+    // Book-keep before FlushTo makes the response externally visible: a
+    // client may act on the answer (e.g. read Stats()) the instant the
+    // bytes land.
+    answered_pairs_.fetch_add(count);
+    if (obs::MetricsEnabled()) {
+      Metrics().request_latency.Record(done_ns - request.admitted_ns);
+    }
+    EnqueueResponse(
+        *request.conn,
+        EncodeOkResponse(std::span(out).subspan(offset, count)));
+    FlushTo(*request.conn, done_ns);
+    offset += count;
+  }
+}
+
+void QueryServer::EventLoop(int listen_fd) {
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::vector<pollfd> pfds;
+  std::vector<PendingRequest> pending;
+  // acquire: sees the stores Start() published; a stale false only
+  // delays shutdown by one 50 ms poll interval.
+  while (running_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back(pollfd{
+        listen_fd,
+        static_cast<short>(conns.size() < options_.max_connections ? POLLIN
+                                                                   : 0),
+        0});
+    for (const auto& conn : conns) {
+      short events = POLLIN;
+      if (conn->out_offset < conn->outbuf.size()) {
+        events |= POLLOUT;
+      }
+      pfds.push_back(pollfd{conn->fd, events, 0});
+    }
+    if (util::PollRetry(pfds.data(), static_cast<nfds_t>(pfds.size()), 50) <
+        0) {
+      continue;  // transient poll failure: re-check running_
+    }
+    const std::uint64_t now = obs::TraceNowNs();
+    if ((pfds[0].revents & POLLIN) != 0) {
+      AcceptReady(listen_fd, conns);
+    }
+    // conns accepted above have no pfd entry yet; they are served next
+    // iteration (the loop bound keeps indices aligned).
+    for (std::size_t i = 0; i + 1 < pfds.size() && i < conns.size(); ++i) {
+      Connection& conn = *conns[i];
+      const short revents = pfds[i + 1].revents;
+      if (conn.dead) {
+        continue;
+      }
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((revents & (POLLIN | POLLHUP)) != 0) {
+        ReadFrom(conn, pending, now);
+      }
+      if (!conn.dead && (revents & POLLOUT) != 0) {
+        FlushTo(conn, now);
+      }
+    }
+    DrainPending(pending);
+    pending.clear();
+    const std::uint64_t idle_ns =
+        static_cast<std::uint64_t>(std::max(options_.idle_timeout_ms, 0)) *
+        1'000'000ULL;
+    for (const auto& conn : conns) {
+      if (!conn->dead && idle_ns > 0 && now > conn->last_active_ns &&
+          now - conn->last_active_ns > idle_ns) {
+        idle_closed_.fetch_add(1);
+        if (obs::MetricsEnabled()) {
+          Metrics().idle_closed.Add(1);
+        }
+        CloseConnection(*conn);
+      }
+    }
+    std::erase_if(conns, [](const auto& conn) { return conn->dead; });
+    if (obs::MetricsEnabled()) {
+      Metrics().connections.Set(static_cast<double>(conns.size()));
+    }
+  }
+  for (const auto& conn : conns) {
+    if (!conn->dead) {
+      CloseConnection(*conn);
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    Metrics().connections.Set(0.0);
+  }
+}
+
+QueryServer::FileStamp QueryServer::StampOf(const std::string& path) {
+  FileStamp stamp;
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    return stamp;
+  }
+  stamp.ok = true;
+#if defined(__APPLE__)
+  stamp.mtime_ns =
+      static_cast<std::uint64_t>(st.st_mtimespec.tv_sec) * 1'000'000'000ULL +
+      static_cast<std::uint64_t>(st.st_mtimespec.tv_nsec);
+#else
+  stamp.mtime_ns =
+      static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1'000'000'000ULL +
+      static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+#endif
+  stamp.size = static_cast<std::uint64_t>(st.st_size);
+  stamp.inode = static_cast<std::uint64_t>(st.st_ino);
+  return stamp;
+}
+
+void QueryServer::Watch() {
+  // acquire: same pairing as EventLoop; a stale true costs one more poll.
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      util::MutexLock lock(mutex_);
+      stop_cv_.WaitFor(
+          mutex_,
+          std::chrono::milliseconds(std::max(options_.watch_poll_ms, 1)));
+    }
+    // acquire: Stop() notified us; see the loop condition comment.
+    if (!running_.load(std::memory_order_acquire)) {
+      return;
+    }
+    TryReload();
+  }
+}
+
+void QueryServer::TryReload() {
+  const FileStamp stamp = StampOf(options_.watch_path);
+  if (!stamp.ok || stamp == last_stamp_) {
+    return;
+  }
+  last_stamp_ = stamp;
+  try {
+    build::IndexArtifact artifact =
+        build::IndexArtifact::Load(options_.watch_path);
+    if (!artifact.Manifest().IsComplete()) {
+      throw std::runtime_error("serve: watched artifact is a checkpoint, "
+                               "not a complete index");
+    }
+    {
+      util::MutexLock lock(mutex_);
+      if (served_ != nullptr &&
+          served_->index.Manifest() == artifact.Manifest()) {
+        return;  // byte-identical republish; nothing to swap
+      }
+    }
+    const pll::BuildManifest manifest = artifact.Manifest();
+    auto next = std::make_shared<Served>(std::move(artifact.index),
+                                         engine_options_);
+    {
+      util::MutexLock lock(mutex_);
+      // RCU-style flip: in-flight batches keep their shared_ptr snapshot
+      // and finish on the old engine; new iterations pick this one up.
+      served_ = std::move(next);
+    }
+    hot_swaps_.fetch_add(1);
+    if (obs::MetricsEnabled()) {
+      Metrics().hot_swaps.Add(1);
+    }
+    obs::HealthInfo health;
+    health.index_fingerprint = manifest.graph_fingerprint;
+    health.index_format_version = manifest.format_version;
+    health.index_mode = manifest.mode.empty() ? "unknown" : manifest.mode;
+    health.num_vertices = manifest.num_vertices;
+    health.roots_completed = manifest.roots_completed;
+    obs::SetProcessHealthInfo(health);
+  } catch (const std::exception&) {
+    // A half-written or incompatible artifact never interrupts serving:
+    // keep the old engine, count the failure, retry on the next change.
+    reload_errors_.fetch_add(1);
+    if (obs::MetricsEnabled()) {
+      Metrics().reload_errors.Add(1);
+    }
+  }
+}
+
+#else  // !PARAPLL_HAVE_SOCKETS
+
+void QueryServer::Start() {
+  throw std::runtime_error("serve: no socket support on this platform");
+}
+void QueryServer::Stop() {}
+void QueryServer::EventLoop(int) {}
+void QueryServer::Watch() {}
+void QueryServer::TryReload() {}
+void QueryServer::AcceptReady(int, std::vector<std::unique_ptr<Connection>>&) {
+}
+void QueryServer::ReadFrom(Connection&, std::vector<PendingRequest>&,
+                           std::uint64_t) {}
+void QueryServer::DrainPending(std::vector<PendingRequest>&) {}
+void QueryServer::EnqueueResponse(Connection&, std::string) {}
+void QueryServer::FlushTo(Connection&, std::uint64_t) {}
+void QueryServer::CloseConnection(Connection&) {}
+QueryServer::FileStamp QueryServer::StampOf(const std::string&) {
+  return {};
+}
+
+#endif  // PARAPLL_HAVE_SOCKETS
+
+}  // namespace parapll::serve

@@ -1,0 +1,184 @@
+// parapll_serve — a TCP daemon serving distance queries over the binary
+// frame protocol in serve/frame.hpp, layered on query::QueryEngine.
+//
+// Architecture (one poll(2)-driven event-loop thread, one optional
+// watcher thread):
+//
+//   * Connections are non-blocking with per-connection read/write
+//     buffers and idle timeouts; a slow reader never stalls the loop
+//     (partial writes park in the outbuf until POLLOUT).
+//   * Each loop iteration admits decoded DISTANCE_QUERY requests into a
+//     bounded queue (options.max_queued_pairs total pairs). A request
+//     that would overflow the budget is answered with an explicit SHED
+//     response immediately — the queue never grows without bound and the
+//     loop never stalls on overload.
+//   * All admitted requests are then coalesced into ONE
+//     QueryEngine::QueryBatch call on the current engine snapshot, and
+//     the per-request slices are framed back to their connections.
+//     Answers are bit-identical to calling QueryBatch directly.
+//   * Hot index reload: when options.watch_path is set, the watcher
+//     polls the artifact's stat identity (mtime/size/inode — the build
+//     pipeline publishes via tmp+rename, so the inode changes), reloads
+//     on change, validates the manifest, and publishes a fresh
+//     index+engine via an RCU-style std::shared_ptr flip under the
+//     annotated util::Mutex. In-flight batches finish on the old engine
+//     snapshot; queries never fail across a swap.
+//
+// Metrics land under "server.*" when obs metrics are enabled (schema in
+// EXPERIMENTS.md); Stats() exposes the same counts unconditionally for
+// tests and the CLI.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pll/index.hpp"
+#include "query/query_engine.hpp"
+#include "serve/frame.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace parapll::serve {
+
+struct ServeOptions {
+  // 0 binds an ephemeral loopback port; read the result with Port().
+  std::uint16_t port = 0;
+  // Worker threads inside the QueryEngine answering coalesced batches.
+  std::size_t engine_threads = 1;
+  std::size_t min_pairs_per_shard = 256;
+  // A connection silent this long is closed (server.idle_closed).
+  int idle_timeout_ms = 30'000;
+  std::size_t max_connections = 64;
+  // Admission budget: total (s, t) pairs admitted per coalescing cycle.
+  // A request that would push past this is answered SHED instead of
+  // queued; a single request larger than the budget always sheds.
+  std::size_t max_queued_pairs = std::size_t{1} << 16;
+  // Non-empty: watch this IndexArtifact path and hot-swap the served
+  // engine when a different complete build appears under it.
+  std::string watch_path;
+  int watch_poll_ms = 200;
+};
+
+// Monotonic counts since Start(); readable at any time from any thread.
+struct ServeStats {
+  std::uint64_t accepted = 0;        // connections accepted
+  std::uint64_t requests = 0;        // DISTANCE_QUERY frames decoded
+  std::uint64_t answered_pairs = 0;  // pairs answered with OK
+  std::uint64_t shed = 0;            // requests answered SHED
+  std::uint64_t bad_requests = 0;    // malformed frames / bad vertex ids
+  std::uint64_t idle_closed = 0;     // connections closed by idle timeout
+  std::uint64_t hot_swaps = 0;       // successful engine flips
+  std::uint64_t reload_errors = 0;   // watcher load/validate failures
+};
+
+class QueryServer {
+ public:
+  // Takes ownership of the index it serves (hot swaps replace it).
+  QueryServer(pll::Index index, ServeOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Binds 127.0.0.1:port and spawns the event loop (and the watcher when
+  // watch_path is set). Throws std::runtime_error on socket failure.
+  void Start();
+  void Stop();  // idempotent
+
+  [[nodiscard]] bool Running() const {
+    // acquire: pairs with the release store in Start() so a caller that
+    // observes true also sees the bound port.
+    return running_.load(std::memory_order_acquire);
+  }
+  // Bound port; valid after Start() (resolves port 0 to the real one).
+  [[nodiscard]] std::uint16_t Port() const {
+    util::MutexLock lock(mutex_);
+    return port_;
+  }
+
+  [[nodiscard]] ServeStats Stats() const;
+
+ private:
+  // The RCU-style unit of hot swap: an index and the engine built over
+  // it, flipped together so a batch never outlives its labels. The
+  // engine borrows `index`, so the pair must live and die as one.
+  struct Served {
+    pll::Index index;
+    query::QueryEngine engine;
+    Served(pll::Index idx, const query::QueryEngineOptions& engine_options)
+        : index(std::move(idx)), engine(index, engine_options) {}
+  };
+
+  struct Connection;
+  struct PendingRequest;
+
+  // Identity of the watched file as of the last (attempted) load.
+  struct FileStamp {
+    bool ok = false;
+    std::uint64_t mtime_ns = 0;
+    std::uint64_t size = 0;
+    std::uint64_t inode = 0;
+    friend bool operator==(const FileStamp&, const FileStamp&) = default;
+  };
+  static FileStamp StampOf(const std::string& path);
+
+  void EventLoop(int listen_fd);
+  void Watch();
+  void TryReload();
+
+  // Current engine snapshot (shared_ptr copy under the lock); callers
+  // run batches on the copy so a concurrent flip never invalidates it.
+  [[nodiscard]] std::shared_ptr<Served> Snapshot() const;
+
+  // Event-loop helpers (all run on the loop thread only).
+  void AcceptReady(int listen_fd,
+                   std::vector<std::unique_ptr<Connection>>& conns);
+  void ReadFrom(Connection& conn, std::vector<PendingRequest>& pending,
+                std::uint64_t now_ns);
+  void DrainPending(std::vector<PendingRequest>& pending);
+  static void EnqueueResponse(Connection& conn, std::string frame);
+  static void FlushTo(Connection& conn, std::uint64_t now_ns);
+  static void CloseConnection(Connection& conn);
+
+  [[nodiscard]] ServerInfo InfoSnapshot() const;
+
+  ServeOptions options_;  // written by the ctor only, then read-only
+  query::QueryEngineOptions engine_options_;
+
+  // Lifecycle + published engine. Start/Stop/Port and the served_ flip
+  // all serialize on mutex_; the event loop only takes it for the brief
+  // Snapshot() copy.
+  mutable util::Mutex mutex_;
+  std::shared_ptr<Served> served_ GUARDED_BY(mutex_);
+  int listen_fd_ GUARDED_BY(mutex_) = -1;
+  std::uint16_t port_ GUARDED_BY(mutex_) = 0;
+  std::thread loop_ GUARDED_BY(mutex_);
+  std::thread watcher_ GUARDED_BY(mutex_);
+  std::atomic<bool> running_{false};
+  // Wakes the watcher's poll sleep early on Stop().
+  util::CondVar stop_cv_;
+
+  FileStamp last_stamp_;  // watcher thread only after Start()
+
+  // Plain (seq_cst) atomics: per-request bookkeeping, not hot-path; no
+  // ordering subtleties to document.
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> answered_pairs_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
+  std::atomic<std::uint64_t> hot_swaps_{0};
+  std::atomic<std::uint64_t> reload_errors_{0};
+
+  std::vector<char> read_buf_;  // event-loop scratch, sized once
+  // Pairs admitted but not yet drained this coalescing cycle; event-loop
+  // thread only (the admission decision and the drain share that thread).
+  std::size_t loop_queued_pairs_ = 0;
+};
+
+}  // namespace parapll::serve

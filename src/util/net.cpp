@@ -1,0 +1,63 @@
+#include "util/net.hpp"
+
+#ifdef PARAPLL_HAVE_SOCKETS
+
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/socket.h>
+
+namespace parapll::util {
+
+int PollRetry(pollfd* fds, nfds_t count, int timeout_ms) {
+  for (;;) {
+    const int ready = ::poll(fds, count, timeout_ms);
+    if (ready >= 0 || errno != EINTR) {
+      return ready;
+    }
+  }
+}
+
+ssize_t RecvRetry(int fd, void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
+}
+
+ssize_t SendRetry(int fd, const void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, len,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
+}
+
+bool SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = SendRetry(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace parapll::util
+
+#endif  // PARAPLL_HAVE_SOCKETS

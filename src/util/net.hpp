@@ -1,0 +1,54 @@
+// EINTR-hardened socket helpers shared by the loopback StatsServer
+// (src/obs/expose.cpp) and the parapll_serve daemon (src/serve/).
+//
+// Signals are routine in this process — the SIGPROF sampling profiler
+// interrupts syscalls at up to kilohertz rates, and poll(2) is never
+// restarted by SA_RESTART — so a blocking socket call returning -1 with
+// errno == EINTR means "try again", not "peer died". These wrappers
+// retry EINTR and nothing else: every other failure (including EAGAIN on
+// a non-blocking socket) still surfaces as a negative return with errno
+// set, so callers keep full control over timeout and error policy.
+//
+// PollRetry restarts an interrupted wait with the *full* timeout again;
+// callers use short periodic timeouts (or deadlines re-checked outside),
+// so an interrupt can only stretch one wait by one period.
+#pragma once
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PARAPLL_HAVE_SOCKETS 1
+#endif
+
+#ifdef PARAPLL_HAVE_SOCKETS
+
+#include <poll.h>
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string_view>
+
+namespace parapll::util {
+
+// poll(2) that retries EINTR (with the full timeout again). Returns the
+// ready count, 0 on timeout, or -1 on a real error.
+int PollRetry(pollfd* fds, nfds_t count, int timeout_ms);
+
+// recv(2) that retries EINTR. Returns bytes read, 0 on orderly shutdown,
+// or -1 on a real error (EAGAIN included — non-blocking sockets pass
+// "nothing to read" through to the caller).
+ssize_t RecvRetry(int fd, void* buf, std::size_t len);
+
+// send(2) (with MSG_NOSIGNAL where available, so a dead peer is an EPIPE
+// return, never a fatal signal) that retries EINTR. Returns bytes sent
+// or -1 on a real error.
+ssize_t SendRetry(int fd, const void* buf, std::size_t len);
+
+// Sends all of `data` on a *blocking* socket, retrying both EINTR and
+// short writes. Returns false on any real error or peer close.
+bool SendAll(int fd, std::string_view data);
+
+// Marks `fd` non-blocking. Returns false when fcntl fails.
+bool SetNonBlocking(int fd);
+
+}  // namespace parapll::util
+
+#endif  // PARAPLL_HAVE_SOCKETS

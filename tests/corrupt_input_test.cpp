@@ -12,6 +12,7 @@
 
 #include "build/pipeline.hpp"
 #include "cluster/wire.hpp"
+#include "serve/frame.hpp"
 #include "graph/generators.hpp"
 #include "parapll/parallel_indexer.hpp"
 #include "pll/compact_io.hpp"
@@ -391,6 +392,118 @@ TEST(CorruptManifest, LegacyStreamWithoutManifestStillLoads) {
       LoadIndexBytes(bytes.substr(manifest_out.str().size()));
   EXPECT_EQ(loaded.Manifest(), pll::BuildManifest{});
   EXPECT_EQ(loaded.Store(), index.Store());
+}
+
+// Serve-frame hardening: request and response payloads arrive from a TCP
+// socket, so they get the same treatment as index bytes — every
+// truncation, oversized count, trailing byte, and bad discriminator must
+// be a recoverable std::runtime_error, and a hostile length prefix must
+// be rejected before any buffering toward it.
+//
+// Payload layout (little-endian; serve/frame.hpp):
+//   request  = u32 magic | u8 type   | body
+//   response = u32 magic | u8 status | body
+// A frame prepends a u32 payload length; tests strip it with substr(4).
+
+std::string DistanceRequestPayload() {
+  const std::vector<query::QueryPair> pairs = {{0, 1}, {2, 3}, {4, 4}};
+  return serve::EncodeDistanceRequest(pairs).substr(4);
+}
+
+std::string OkResponsePayload() {
+  const std::vector<graph::Distance> distances = {7, 0,
+                                                  graph::kInfiniteDistance};
+  return serve::EncodeOkResponse(distances).substr(4);
+}
+
+TEST(CorruptServeFrame, RequestRoundTripDecodes) {
+  const serve::Request request =
+      serve::DecodeRequestPayload(DistanceRequestPayload());
+  EXPECT_EQ(request.type, serve::RequestType::kDistanceQuery);
+  ASSERT_EQ(request.pairs.size(), 3u);
+  EXPECT_EQ(request.pairs[2], (query::QueryPair{4, 4}));
+}
+
+TEST(CorruptServeFrame, EveryRequestTruncationThrows) {
+  const std::string payload = DistanceRequestPayload();
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW((void)serve::DecodeRequestPayload(payload.substr(0, len)),
+                 std::runtime_error)
+        << "request prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(CorruptServeFrame, EveryResponseTruncationThrows) {
+  const std::string payload = OkResponsePayload();
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW((void)serve::DecodeResponsePayload(payload.substr(0, len)),
+                 std::runtime_error)
+        << "response prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(CorruptServeFrame, TrailingBytesThrow) {
+  EXPECT_THROW(
+      (void)serve::DecodeRequestPayload(DistanceRequestPayload() + '\0'),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)serve::DecodeResponsePayload(OkResponsePayload() + '\0'),
+      std::runtime_error);
+}
+
+TEST(CorruptServeFrame, BadMagicThrows) {
+  std::string request = DistanceRequestPayload();
+  request[0] ^= 0x5a;
+  EXPECT_THROW((void)serve::DecodeRequestPayload(request),
+               std::runtime_error);
+  std::string response = OkResponsePayload();
+  response[0] ^= 0x5a;
+  EXPECT_THROW((void)serve::DecodeResponsePayload(response),
+               std::runtime_error);
+}
+
+TEST(CorruptServeFrame, UnknownDiscriminatorThrows) {
+  std::string request = DistanceRequestPayload();
+  request[4] = '\x7f';  // not a RequestType
+  EXPECT_THROW((void)serve::DecodeRequestPayload(request),
+               std::runtime_error);
+  std::string response = OkResponsePayload();
+  response[4] = '\x7f';  // not a ResponseStatus
+  EXPECT_THROW((void)serve::DecodeResponsePayload(response),
+               std::runtime_error);
+}
+
+// A count claiming billions of pairs must be rejected at the cap check —
+// before reserve() — not fault on the missing body bytes.
+TEST(CorruptServeFrame, OversizedPairCountThrows) {
+  std::string payload = DistanceRequestPayload();
+  Patch<std::uint32_t>(payload, 5, std::uint32_t{1} << 30);
+  EXPECT_THROW((void)serve::DecodeRequestPayload(payload),
+               std::runtime_error);
+}
+
+TEST(CorruptServeFrame, CountBodyMismatchThrows) {
+  // Count says 4 pairs but only 3 pairs of bytes follow (and the exact-size
+  // rule also catches count = 2 with 3 pairs present).
+  std::string payload = DistanceRequestPayload();
+  Patch<std::uint32_t>(payload, 5, 4);
+  EXPECT_THROW((void)serve::DecodeRequestPayload(payload),
+               std::runtime_error);
+  Patch<std::uint32_t>(payload, 5, 2);
+  EXPECT_THROW((void)serve::DecodeRequestPayload(payload),
+               std::runtime_error);
+}
+
+// FrameReader must reject a hostile length prefix as soon as the 4-byte
+// prefix is visible — a 2 GiB declaration never grows the buffer.
+TEST(CorruptServeFrame, DeclaredLengthBombThrows) {
+  serve::FrameReader reader(serve::kMaxRequestPayload);
+  const std::uint32_t bomb = std::uint32_t{1} << 31;
+  std::string prefix(4, '\0');
+  std::memcpy(prefix.data(), &bomb, sizeof(bomb));
+  reader.Append(prefix.data(), prefix.size());
+  std::string payload;
+  EXPECT_THROW((void)reader.Next(payload), std::runtime_error);
 }
 
 // Worker scratch construction is O(|V|) and happens before the first root

@@ -1,0 +1,492 @@
+// parapll_serve end-to-end: the daemon's answers over real loopback
+// sockets must be bit-identical to QueryEngine::QueryBatch, overload must
+// degrade into explicit SHED responses, slow readers must get complete
+// responses via the POLLOUT partial-write path, and a hot index reload
+// under live traffic must never fail a query.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "build/artifact.hpp"
+#include "build/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "pll/serial_pll.hpp"
+#include "query/query_engine.hpp"
+#include "serve/frame.hpp"
+#include "serve/loadgen.hpp"
+#include "util/net.hpp"
+#include "util/rng.hpp"
+
+#ifdef PARAPLL_HAVE_SOCKETS
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace parapll::serve {
+namespace {
+
+using graph::Graph;
+using graph::WeightModel;
+using graph::WeightOptions;
+using query::QueryPair;
+
+pll::Index BuildTestIndex(const Graph& g) {
+  pll::SerialBuildResult result = pll::BuildSerial(g, {});
+  return pll::Index(std::move(result.store), std::move(result.order));
+}
+
+std::vector<QueryPair> RandomPairs(graph::VertexId n, std::size_t count,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<QueryPair> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(static_cast<graph::VertexId>(rng.Below(n)),
+                       static_cast<graph::VertexId>(rng.Below(n)));
+  }
+  return pairs;
+}
+
+// --- frame unit coverage (no sockets required) ----------------------------
+
+TEST(ServeFrame, DistanceRequestRoundTrips) {
+  const std::vector<QueryPair> pairs = {{0, 1}, {7, 3}, {2, 2}};
+  const std::string frame = EncodeDistanceRequest(pairs);
+  FrameReader reader(kMaxRequestPayload);
+  reader.Append(frame.data(), frame.size());
+  std::string payload;
+  ASSERT_TRUE(reader.Next(payload));
+  EXPECT_EQ(reader.BufferedBytes(), 0u);
+  const Request request = DecodeRequestPayload(payload);
+  EXPECT_EQ(request.type, RequestType::kDistanceQuery);
+  EXPECT_EQ(request.pairs, pairs);
+}
+
+TEST(ServeFrame, ResponsesRoundTrip) {
+  const std::vector<graph::Distance> distances = {
+      0, 42, graph::kInfiniteDistance};
+  std::string frame = EncodeOkResponse(distances);
+  Response ok = DecodeResponsePayload(frame.substr(4));
+  EXPECT_EQ(ok.status, ResponseStatus::kOk);
+  EXPECT_EQ(ok.distances, distances);
+
+  frame = EncodeStatusResponse(ResponseStatus::kShed);
+  EXPECT_EQ(DecodeResponsePayload(frame.substr(4)).status,
+            ResponseStatus::kShed);
+
+  const ServerInfo info{.num_vertices = 9, .fingerprint = 0xfeed,
+                        .hot_swaps = 2};
+  frame = EncodeInfoResponse(info);
+  const Response decoded = DecodeResponsePayload(frame.substr(4));
+  EXPECT_EQ(decoded.status, ResponseStatus::kInfo);
+  EXPECT_EQ(decoded.info.num_vertices, 9u);
+  EXPECT_EQ(decoded.info.fingerprint, 0xfeedu);
+  EXPECT_EQ(decoded.info.hot_swaps, 2u);
+}
+
+// A socket read loop hands FrameReader arbitrary byte slices; feeding one
+// byte at a time must yield exactly the frames that were sent, in order.
+TEST(ServeFrame, ReaderReassemblesByteAtATime) {
+  const std::vector<QueryPair> pairs = {{1, 2}, {3, 4}};
+  const std::string stream =
+      EncodeDistanceRequest(pairs) + EncodeInfoRequest();
+  FrameReader reader(kMaxRequestPayload);
+  std::vector<Request> decoded;
+  std::string payload;
+  for (const char byte : stream) {
+    reader.Append(&byte, 1);
+    while (reader.Next(payload)) {
+      decoded.push_back(DecodeRequestPayload(payload));
+    }
+  }
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].pairs, pairs);
+  EXPECT_EQ(decoded[1].type, RequestType::kInfo);
+}
+
+TEST(ServeFrame, OversizedPairCountThrows) {
+  std::vector<QueryPair> pairs(kMaxPairsPerRequest + 1, {0, 0});
+  EXPECT_THROW((void)EncodeDistanceRequest(pairs), std::invalid_argument);
+}
+
+#ifdef PARAPLL_HAVE_SOCKETS
+
+// --- daemon end-to-end ----------------------------------------------------
+
+// A raw blocking socket to 127.0.0.1:port, for tests that need to feed
+// the daemon byte streams ServeClient would never produce (slow reads,
+// raw garbage).
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error("raw client: socket() failed");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      throw std::runtime_error("raw client: connect() failed");
+    }
+  }
+  ~RawClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  void Send(const std::string& bytes) {
+    ASSERT_TRUE(util::SendAll(fd_, bytes));
+  }
+
+  // Reads one complete response payload, `chunk` bytes at a time with a
+  // short pause between reads — a deliberately slow reader.
+  Response ReadSlowly(std::size_t chunk) {
+    FrameReader reader(kMaxResponsePayload);
+    std::string payload;
+    std::vector<char> buf(chunk);
+    while (!reader.Next(payload)) {
+      const ssize_t n = util::RecvRetry(fd_, buf.data(), buf.size());
+      if (n <= 0) {
+        throw std::runtime_error("raw client: connection closed");
+      }
+      reader.Append(buf.data(), static_cast<std::size_t>(n));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return DecodeResponsePayload(payload);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+struct MatrixCase {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<MatrixCase> GraphMatrix() {
+  std::vector<MatrixCase> cases;
+  cases.push_back({"erdos_renyi",
+                   graph::ErdosRenyi(
+                       120, 360, {WeightModel::kUniform, 50}, 11)});
+  cases.push_back({"barabasi_albert",
+                   graph::BarabasiAlbert(
+                       120, 3, {WeightModel::kUniform, 20}, 12)});
+  cases.push_back({"road_grid",
+                   graph::RoadGrid(
+                       10, 12, 0.9, 4, {WeightModel::kRoadLike, 100}, 13)});
+  return cases;
+}
+
+// The core guarantee: every distance served over the wire is bit-identical
+// to calling QueryEngine::QueryBatch on the same index directly.
+TEST(QueryServerTest, ServedAnswersAreBitIdenticalToQueryBatch) {
+  for (const MatrixCase& c : GraphMatrix()) {
+    SCOPED_TRACE(c.name);
+    pll::Index index = BuildTestIndex(c.graph);
+    query::QueryEngine direct(index, {.threads = 2,
+                                      .min_pairs_per_shard = 16});
+    const auto pairs = RandomPairs(c.graph.NumVertices(), 500, 21);
+    const std::vector<graph::Distance> want = direct.QueryBatch(pairs);
+
+    ServeOptions options;
+    options.engine_threads = 2;
+    options.min_pairs_per_shard = 16;
+    QueryServer server(index, options);
+    server.Start();
+    ServeClient client;
+    client.Connect(server.Port());
+    // Several request sizes, including an empty batch and a single pair.
+    std::size_t offset = 0;
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{37}, std::size_t{462}}) {
+      const std::span<const QueryPair> slice(pairs.data() + offset, count);
+      const Response response = client.Distance(slice);
+      ASSERT_EQ(response.status, ResponseStatus::kOk);
+      ASSERT_EQ(response.distances.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(response.distances[i], want[offset + i])
+            << "pair " << offset + i;
+      }
+      offset += count;
+    }
+    const ServeStats stats = server.Stats();
+    EXPECT_EQ(stats.requests, 4u);
+    EXPECT_EQ(stats.answered_pairs, 500u);
+    EXPECT_EQ(stats.shed, 0u);
+    EXPECT_EQ(stats.bad_requests, 0u);
+    server.Stop();
+  }
+}
+
+TEST(QueryServerTest, InfoReportsServedIndex) {
+  const Graph g = graph::ErdosRenyi(60, 150, {WeightModel::kUniform, 9}, 3);
+  QueryServer server(BuildTestIndex(g), {});
+  server.Start();
+  ServeClient client;
+  client.Connect(server.Port());
+  const ServerInfo info = client.Info();
+  EXPECT_EQ(info.num_vertices, g.NumVertices());
+  EXPECT_EQ(info.hot_swaps, 0u);
+  server.Stop();
+}
+
+// A request larger than the admission budget must be answered SHED — an
+// explicit, well-formed response on the same connection — and the
+// connection must remain usable for a request that fits.
+TEST(QueryServerTest, OverBudgetRequestShedsExplicitly) {
+  const Graph g = graph::ErdosRenyi(60, 150, {WeightModel::kUniform, 9}, 3);
+  ServeOptions options;
+  options.max_queued_pairs = 4;
+  QueryServer server(BuildTestIndex(g), options);
+  server.Start();
+  ServeClient client;
+  client.Connect(server.Port());
+
+  const auto big = RandomPairs(g.NumVertices(), 8, 5);
+  EXPECT_EQ(client.Distance(big).status, ResponseStatus::kShed);
+
+  const auto small = RandomPairs(g.NumVertices(), 4, 6);
+  const Response ok = client.Distance(small);
+  ASSERT_EQ(ok.status, ResponseStatus::kOk);
+  EXPECT_EQ(ok.distances.size(), 4u);
+
+  const ServeStats stats = server.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.answered_pairs, 4u);
+  server.Stop();
+}
+
+TEST(QueryServerTest, OutOfRangeVertexGetsBadRequestNotPoisonedBatch) {
+  const Graph g = graph::ErdosRenyi(60, 150, {WeightModel::kUniform, 9}, 3);
+  pll::Index index = BuildTestIndex(g);
+  query::QueryEngine direct(index, {});
+  QueryServer server(index, {});
+  server.Start();
+
+  // Two connections drain in the same coalescing cycle as one QueryBatch;
+  // the bad id must 400 its own request without failing the good one.
+  ServeClient good;
+  ServeClient bad;
+  good.Connect(server.Port());
+  bad.Connect(server.Port());
+  const std::vector<QueryPair> bad_pairs = {{0, g.NumVertices() + 5}};
+  EXPECT_EQ(bad.Distance(bad_pairs).status, ResponseStatus::kBadRequest);
+
+  const auto pairs = RandomPairs(g.NumVertices(), 16, 8);
+  const Response ok = good.Distance(pairs);
+  ASSERT_EQ(ok.status, ResponseStatus::kOk);
+  EXPECT_EQ(ok.distances, direct.QueryBatch(pairs));
+  EXPECT_GE(server.Stats().bad_requests, 1u);
+  server.Stop();
+}
+
+TEST(QueryServerTest, GarbageFrameGetsBadRequestAndClose) {
+  const Graph g = graph::ErdosRenyi(40, 100, {WeightModel::kUniform, 9}, 3);
+  QueryServer server(BuildTestIndex(g), {});
+  server.Start();
+  RawClient raw(server.Port());
+  // Correct length prefix, wrong magic: decodes must throw server-side.
+  std::string frame = EncodeInfoRequest();
+  frame[4] ^= 0x5a;
+  raw.Send(frame);
+  EXPECT_EQ(raw.ReadSlowly(64).status, ResponseStatus::kBadRequest);
+  EXPECT_GE(server.Stats().bad_requests, 1u);
+  server.Stop();
+}
+
+// A full-size response (kMaxPairsPerRequest distances, ~512 KiB) read by a
+// deliberately slow client: the daemon's non-blocking send must park the
+// overflow in the connection's outbuf and finish via POLLOUT, delivering
+// every byte bit-identically.
+TEST(QueryServerTest, SlowReaderGetsCompleteResponseViaPartialWrites) {
+  const Graph g = graph::ErdosRenyi(80, 240, {WeightModel::kUniform, 9}, 4);
+  pll::Index index = BuildTestIndex(g);
+  query::QueryEngine direct(index, {});
+  QueryServer server(index, {});
+  server.Start();
+
+  const auto pairs =
+      RandomPairs(g.NumVertices(), kMaxPairsPerRequest, 31);
+  const std::vector<graph::Distance> want = direct.QueryBatch(pairs);
+
+  RawClient raw(server.Port());
+  raw.Send(EncodeDistanceRequest(pairs));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const Response response = raw.ReadSlowly(4096);
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.distances, want);
+  server.Stop();
+}
+
+TEST(QueryServerTest, LoadGenClosedLoopAnswersEverything) {
+  const Graph g = graph::ErdosRenyi(80, 240, {WeightModel::kUniform, 9}, 4);
+  ServeOptions options;
+  options.engine_threads = 2;
+  QueryServer server(BuildTestIndex(g), options);
+  server.Start();
+  LoadGenOptions load;
+  load.port = server.Port();
+  load.connections = 3;
+  load.requests_per_connection = 40;
+  load.pairs_per_request = 8;
+  load.max_vertex = g.NumVertices();
+  const LoadGenReport report = RunLoadGen(load);
+  EXPECT_EQ(report.answered, 120u);
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.pairs, 960u);
+  EXPECT_GT(report.p99_ns, 0u);
+  server.Stop();
+}
+
+// Hot swap under live traffic: republish a different complete artifact
+// under the watched path while a client hammers the daemon. The swap must
+// be observed (Info().hot_swaps), and not a single query may fail.
+TEST(QueryServerTest, HotSwapUnderLiveTrafficNeverFailsAQuery) {
+  const std::string path =
+      ::testing::TempDir() + "parapll_serve_hotswap." +
+      std::to_string(::getpid()) + ".idx";
+  const Graph g1 =
+      graph::ErdosRenyi(80, 240, {WeightModel::kUniform, 9}, 101);
+  const Graph g2 =
+      graph::ErdosRenyi(80, 260, {WeightModel::kUniform, 9}, 202);
+  const build::BuildOutcome b1 = build::Run(g1, {});
+  b1.artifact.Save(path);
+
+  ServeOptions options;
+  options.watch_path = path;
+  options.watch_poll_ms = 20;
+  QueryServer server(b1.artifact.index, options);
+  server.Start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::thread traffic([&] {
+    try {
+      ServeClient client;
+      client.Connect(server.Port());
+      const auto pairs = RandomPairs(80, 16, 77);
+      while (!stop.load()) {
+        const Response response = client.Distance(pairs);
+        if (response.status == ResponseStatus::kOk &&
+            response.distances.size() == pairs.size()) {
+          answered.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    } catch (const std::exception&) {
+      failed.fetch_add(1);
+    }
+  });
+
+  // Republish a different build over the watched path (atomic rename),
+  // then wait for the watcher to flip the engine.
+  build::Run(g2, {}).artifact.Save(path);
+  ServeClient prober;
+  prober.Connect(server.Port());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::uint64_t swaps = 0;
+  while (swaps == 0 && std::chrono::steady_clock::now() < deadline) {
+    swaps = prober.Info().hot_swaps;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  traffic.join();
+
+  EXPECT_EQ(swaps, 1u);
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+  const ServeStats stats = server.Stats();
+  EXPECT_EQ(stats.hot_swaps, 1u);
+  EXPECT_EQ(stats.reload_errors, 0u);
+  // The prober's view reflects the new index's identity.
+  EXPECT_EQ(prober.Info().fingerprint,
+            build::IndexArtifact::Load(path).Manifest().graph_fingerprint);
+  server.Stop();
+}
+
+// Republishing an identical build (same manifest) must NOT count as a
+// swap, and a corrupt republish must keep the old engine serving.
+TEST(QueryServerTest, WatcherSkipsIdenticalAndSurvivesCorruptRepublish) {
+  const std::string path =
+      ::testing::TempDir() + "parapll_serve_reload." +
+      std::to_string(::getpid()) + ".idx";
+  const Graph g =
+      graph::ErdosRenyi(60, 150, {WeightModel::kUniform, 9}, 55);
+  const build::BuildOutcome built = build::Run(g, {});
+  built.artifact.Save(path);
+
+  ServeOptions options;
+  options.watch_path = path;
+  options.watch_poll_ms = 20;
+  QueryServer server(built.artifact.index, options);
+  server.Start();
+  ServeClient client;
+  client.Connect(server.Port());
+
+  // Same bytes, new inode: the stamp changes but the manifest matches.
+  built.artifact.Save(path);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(client.Info().hot_swaps, 0u);
+
+  // Corrupt republish: reload fails, old engine keeps answering.
+  {
+    std::string bytes(64, '\x5a');
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.Stats().reload_errors == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.Stats().reload_errors, 1u);
+  EXPECT_EQ(client.Info().hot_swaps, 0u);
+  const auto pairs = RandomPairs(g.NumVertices(), 8, 9);
+  EXPECT_EQ(client.Distance(pairs).status, ResponseStatus::kOk);
+  server.Stop();
+}
+
+TEST(QueryServerTest, StopIsIdempotentAndRestartable) {
+  const Graph g = graph::ErdosRenyi(40, 100, {WeightModel::kUniform, 9}, 3);
+  QueryServer server(BuildTestIndex(g), {});
+  server.Start();
+  EXPECT_TRUE(server.Running());
+  server.Stop();
+  server.Stop();
+  EXPECT_FALSE(server.Running());
+  server.Start();
+  ServeClient client;
+  client.Connect(server.Port());
+  EXPECT_EQ(client.Info().num_vertices, g.NumVertices());
+  server.Stop();
+}
+
+#endif  // PARAPLL_HAVE_SOCKETS
+
+}  // namespace
+}  // namespace parapll::serve

@@ -19,6 +19,8 @@ Gated metrics (direction-aware):
     parallel_build_seconds   lower is better
     batched_query_mqps       higher is better
     per_call_query_mqps      higher is better
+    serve_closed_qps         higher is better (skipped when the baseline
+                             predates the serving daemon)
 
 Decision rule, per metric: take the median across --current runs, compute
 the regression percentage against the baseline, and fail only when it
@@ -44,10 +46,16 @@ import sys
 import tempfile
 
 # (metric, higher_is_better, cli threshold flag default)
+#
+# A metric absent from the baseline snapshot (or from a current run made
+# by an older bench_snapshot.sh) is skipped, not failed: new metrics can
+# join the gate without rewriting the committed trajectory, and become
+# binding from the first snapshot that carries them.
 GATED_METRICS = (
     ("parallel_build_seconds", False, "threshold_build_pct"),
     ("batched_query_mqps", True, "threshold_query_pct"),
     ("per_call_query_mqps", True, "threshold_query_pct"),
+    ("serve_closed_qps", True, "threshold_query_pct"),
 )
 
 
@@ -84,6 +92,9 @@ def compare(baseline, runs, thresholds):
     failures = []
     rows = []
     for metric, higher_is_better, threshold_key in GATED_METRICS:
+        if metric not in baseline or any(metric not in run for run in runs):
+            rows.append((metric, 0.0, 0.0, 0.0, 0.0, 0.0, "skipped"))
+            continue
         base = float(baseline[metric])
         values = [float(run[metric]) for run in runs]
         current = statistics.median(values)
@@ -126,10 +137,15 @@ def print_trajectory(root):
     print("committed trajectory:")
     for number, path in points:
         snap = load(path)
+        serve = (
+            f", serve {snap['serve_closed_qps']:.0f} req/s"
+            if "serve_closed_qps" in snap
+            else ""
+        )
         print(
             f"  BENCH_{number}: build {snap['parallel_build_seconds']:.3f}s, "
             f"batched {snap['batched_query_mqps']:.2f} Mq/s, "
-            f"per-call {snap['per_call_query_mqps']:.2f} Mq/s"
+            f"per-call {snap['per_call_query_mqps']:.2f} Mq/s{serve}"
         )
 
 
@@ -140,6 +156,7 @@ def self_test():
         "parallel_build_seconds": 10.0,
         "batched_query_mqps": 5.0,
         "per_call_query_mqps": 3.0,
+        "serve_closed_qps": 50000.0,
     }
 
     def gate(current_overrides, runs=1):
@@ -164,6 +181,11 @@ def self_test():
             gate({"per_call_query_mqps": 1.5}),
             ["per_call_query_mqps"],
         ),
+        (
+            "2x serve-throughput regression fails",
+            gate({"serve_closed_qps": 25000.0}),
+            ["serve_closed_qps"],
+        ),
         ("improvement passes", gate({"parallel_build_seconds": 5.0}), []),
         (
             "regression within threshold passes",
@@ -181,6 +203,22 @@ def self_test():
     ]
     failures, _ = compare(base, noisy_runs, thresholds)
     checks.append(("regression inside the noise band passes", failures, []))
+
+    # Skip-if-absent: a baseline committed before a metric joined the gate
+    # (or a current run from an older snapshot script) must skip that
+    # metric, never fail on it — in either direction.
+    old_base = {k: v for k, v in base.items() if k != "serve_closed_qps"}
+    failures, rows = compare(old_base, [dict(base)], thresholds)
+    checks.append(("metric absent from baseline is skipped", failures, []))
+    skipped = [row[0] for row in rows if row[6] == "skipped"]
+    checks.append(
+        ("absent metric is reported as skipped", skipped, ["serve_closed_qps"])
+    )
+    failures, _ = compare(
+        base, [{k: v for k, v in base.items() if k != "serve_closed_qps"}],
+        thresholds,
+    )
+    checks.append(("metric absent from a run is skipped", failures, []))
 
     # End-to-end through the CLI path with real temp files.
     with tempfile.TemporaryDirectory() as work:

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Perf-trajectory snapshot: builds a fixed seeded graph with the parallel
-# indexer and measures batched query throughput, then emits both numbers
-# as BENCH_<N>.json so successive commits have comparable data points.
+# indexer, measures batched query throughput, and drives a parapll_serve
+# daemon with the closed-loop load generator, then emits the numbers as
+# BENCH_<N>.json so successive commits have comparable data points.
 #
 # Usage: bench_snapshot.sh <path-to-parapll_cli> [out.json]
 #
@@ -45,12 +46,32 @@ trap 'rm -rf "$WORK"' EXIT
   --seed 7 >"$WORK/qbench.txt"
 cat "$WORK/qbench.txt"
 
-python3 - "$WORK/build_metrics.json" "$WORK/qbench.txt" "$OUT" <<'EOF'
+# Serving path: closed-loop serve-bench against an in-process daemon on an
+# ephemeral port — capacity of the full socket + coalescing + QueryBatch
+# stack (req/s with 64-pair requests).
+"$CLI" serve --index "$WORK/g.index" --threads 4 \
+  --port-file "$WORK/port" &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+i=0
+while [ ! -s "$WORK/port" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "serve daemon never bound a port" >&2; exit 1; }
+  sleep 0.1
+done
+"$CLI" serve-bench --port "$(cat "$WORK/port")" --connections 4 \
+  --requests 500 --pairs-per-request 64 --seed 7 >"$WORK/sbench.txt"
+cat "$WORK/sbench.txt"
+kill "$DAEMON_PID" 2>/dev/null && wait "$DAEMON_PID" 2>/dev/null || true
+trap 'rm -rf "$WORK"' EXIT
+
+python3 - "$WORK/build_metrics.json" "$WORK/qbench.txt" "$WORK/sbench.txt" \
+  "$OUT" <<'EOF'
 import json
 import re
 import sys
 
-metrics_path, qbench_path, out_path = sys.argv[1:4]
+metrics_path, qbench_path, sbench_path, out_path = sys.argv[1:5]
 
 with open(metrics_path) as fh:
     metrics = json.load(fh)
@@ -64,6 +85,15 @@ per_call = re.search(r"per-call:.*\(([0-9.]+) Mq/s", qbench)
 if batched is None or per_call is None:
     sys.exit("query-bench output missing throughput lines")
 
+with open(sbench_path) as fh:
+    sbench = fh.read()
+serve_qps = re.search(r"throughput: ([0-9.]+) req/s", sbench)
+serve_shed = re.search(r"shed rate ([0-9.]+)%", sbench)
+if serve_qps is None or serve_shed is None:
+    sys.exit("serve-bench output missing throughput/shed lines")
+if float(serve_shed.group(1)) != 0.0:
+    sys.exit("serve-bench shed traffic in an unloaded capacity run")
+
 snapshot = {
     "bench": "parapll_bench_snapshot",
     "workload": {
@@ -73,14 +103,19 @@ snapshot = {
         "build_threads": 4,
         "query_pairs": 200000,
         "query_threads": 4,
+        "serve_connections": 4,
+        "serve_requests": 500,
+        "serve_pairs_per_request": 64,
     },
     "parallel_build_seconds": build_seconds,
     "batched_query_mqps": float(batched.group(1)),
     "per_call_query_mqps": float(per_call.group(1)),
+    "serve_closed_qps": float(serve_qps.group(1)),
 }
 with open(out_path, "w") as fh:
     json.dump(snapshot, fh, indent=2)
     fh.write("\n")
 print(f"wrote {out_path}: build {build_seconds:.3f}s, "
-      f"batched {batched.group(1)} Mq/s")
+      f"batched {batched.group(1)} Mq/s, "
+      f"serve {serve_qps.group(1)} req/s")
 EOF

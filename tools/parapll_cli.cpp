@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -23,9 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "build/artifact.hpp"
 #include "build/checkpoint.hpp"
 #include "core/parapll.hpp"
 #include "obs/profiler.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -48,7 +52,8 @@ void PublishHealthInfo(const pll::Index& index) {
 
 int Usage() {
   std::fputs(
-      "usage: parapll_cli <generate|build|query|stats|verify> [flags]\n"
+      "usage: parapll_cli <generate|build|query|stats|verify|query-bench|"
+      "serve|serve-bench> [flags]\n"
       "  generate --dataset NAME --scale S --seed K --out FILE\n"
       "  build    --graph FILE --mode serial|parallel|simulated|cluster\n"
       "           --threads P --nodes Q --sync C --policy static|dynamic\n"
@@ -63,6 +68,14 @@ int Usage() {
       "  verify   --index FILE [--compact] --graph FILE --pairs N\n"
       "  query-bench --index FILE [--compact] --pairs N [--pair-file F]\n"
       "           --threads P --batch B   (batched vs per-call throughput)\n"
+      "  serve    --index FILE [--port N] [--threads P] [--watch]\n"
+      "           [--max-queued-pairs Q] [--idle-timeout-ms T]\n"
+      "           [--port-file F]   TCP daemon answering DISTANCE_QUERY\n"
+      "           frames (see EXPERIMENTS.md); --watch hot-swaps the\n"
+      "           engine when the index file is republished\n"
+      "  serve-bench --port N [--connections C] [--requests R]\n"
+      "           [--pairs-per-request P] [--rate QPS --duration S]\n"
+      "           closed-/open-loop load generator: p50/p99/p999 + shed\n"
       "observability (any command):\n"
       "  --metrics-json FILE   write a metrics snapshot (counters, gauges,\n"
       "                        histograms) as JSON on exit\n"
@@ -348,6 +361,102 @@ int CmdQueryBench(util::ArgParser& args) {
   return 0;
 }
 
+// Runs the query daemon until SIGINT/SIGTERM (the signal-flush hook in
+// main writes any requested metrics/telemetry and exits the process).
+// `serve` requires a manifest-bearing artifact (the default index
+// format): hot reload keys off BuildManifest identity, and operators
+// deserve to know *what* a long-lived process serves.
+int CmdServe(util::ArgParser& args) {
+  const std::string path = args.GetString("index");
+  if (path.empty()) {
+    std::fprintf(stderr, "serve: --index is required\n");
+    return 1;
+  }
+  build::IndexArtifact artifact = build::IndexArtifact::Load(path);
+  if (artifact.IsCheckpoint()) {
+    std::fprintf(stderr, "serve: %s is a partial checkpoint, not an index\n",
+                 path.c_str());
+    return 1;
+  }
+  PublishHealthInfo(artifact.index);
+
+  serve::ServeOptions options;
+  options.port = static_cast<std::uint16_t>(
+      std::max<std::int64_t>(args.GetInt("port"), 0));
+  options.engine_threads = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.GetInt("threads"), 1));
+  options.max_queued_pairs = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.GetInt("max-queued-pairs"), 1));
+  options.idle_timeout_ms = static_cast<int>(
+      std::max<std::int64_t>(args.GetInt("idle-timeout-ms"), 0));
+  if (args.GetBool("watch")) {
+    options.watch_path = path;
+    options.watch_poll_ms = static_cast<int>(
+        std::max<std::int64_t>(args.GetInt("watch-poll-ms"), 1));
+  }
+  serve::QueryServer server(std::move(artifact.index), options);
+  server.Start();
+  std::fprintf(stderr, "serving distance queries on 127.0.0.1:%u%s\n",
+               server.Port(),
+               options.watch_path.empty() ? "" : " (watching index file)");
+  const std::string port_file = args.GetString("port-file");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.Port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "serve: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+  while (server.Running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return 0;
+}
+
+// Drives a running daemon with the closed- or open-loop load generator
+// and reports latency percentiles + shed rate.
+int CmdServeBench(util::ArgParser& args) {
+  const std::int64_t port = args.GetInt("port");
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "serve-bench: --port is required\n");
+    return 1;
+  }
+  serve::ServerInfo info;
+  {
+    serve::ServeClient probe;
+    probe.Connect(static_cast<std::uint16_t>(port));
+    info = probe.Info();
+  }
+  if (info.num_vertices == 0) {
+    std::fprintf(stderr, "serve-bench: daemon serves an empty index\n");
+    return 1;
+  }
+  serve::LoadGenOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.connections = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.GetInt("connections"), 1));
+  options.requests_per_connection = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.GetInt("requests"), 1));
+  options.pairs_per_request = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.GetInt("pairs-per-request"), 1));
+  options.max_vertex = info.num_vertices;
+  options.open_loop_qps = args.GetDouble("rate");
+  options.duration_seconds = args.GetDouble("duration");
+  options.seed = static_cast<std::uint64_t>(args.GetInt("seed"));
+  const serve::LoadGenReport report = serve::RunLoadGen(options);
+  std::printf("server:     127.0.0.1:%lld (n=%u, fingerprint %llu, "
+              "%llu hot swaps)\n",
+              static_cast<long long>(port), info.num_vertices,
+              static_cast<unsigned long long>(info.fingerprint),
+              static_cast<unsigned long long>(info.hot_swaps));
+  std::printf("mode:       %s\n", options.open_loop_qps > 0.0
+                                      ? "open loop (paced schedule)"
+                                      : "closed loop (back-to-back)");
+  std::fputs(report.ToString().c_str(), stdout);
+  return report.errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -388,7 +497,20 @@ int main(int argc, char** argv) {
             "serve /metrics + /healthz on 127.0.0.1:N (0 = ephemeral)")
       .Flag("slow-query-log", "", "slow-query JSONL (query-bench)")
       .Flag("slow-query-threshold-us", "1000", "slow-query latency threshold")
-      .Flag("slow-query-sample", "0", "also record every Nth query (0 = off)");
+      .Flag("slow-query-sample", "0", "also record every Nth query (0 = off)")
+      .Flag("port", "0", "serve: bind port (0 = ephemeral); serve-bench: "
+            "daemon port")
+      .Flag("port-file", "", "serve: write the bound port here (scripts)")
+      .Flag("watch", "false", "serve: hot-swap when the index file changes")
+      .Flag("watch-poll-ms", "200", "serve: watch poll period")
+      .Flag("max-queued-pairs", "65536",
+            "serve: admission budget in pairs; over-budget requests SHED")
+      .Flag("idle-timeout-ms", "30000", "serve: drop silent connections")
+      .Flag("connections", "4", "serve-bench: concurrent client connections")
+      .Flag("requests", "200", "serve-bench: requests per connection")
+      .Flag("pairs-per-request", "16", "serve-bench: pairs per request")
+      .Flag("rate", "0", "serve-bench: open-loop req/s (0 = closed loop)")
+      .Flag("duration", "1.0", "serve-bench: open-loop duration seconds");
   if (!args.Parse(argc - 1, argv + 1)) {
     return 1;
   }
@@ -519,6 +641,10 @@ int main(int argc, char** argv) {
       code = CmdVerify(args);
     } else if (command == "query-bench") {
       code = CmdQueryBench(args);
+    } else if (command == "serve") {
+      code = CmdServe(args);
+    } else if (command == "serve-bench") {
+      code = CmdServeBench(args);
     } else {
       return Usage();
     }

@@ -1,0 +1,95 @@
+#!/bin/sh
+# End-to-end smoke test for the parapll_serve daemon: generate -> build ->
+# serve --watch, then drive it with serve-bench (answered traffic), force
+# explicit shedding against a tiny admission budget, republish the index
+# under live load and observe the hot swap, and finally SIGTERM the daemon
+# and check the flushed metrics snapshot carries the server.* counters.
+# Run by ctest/CI with the CLI binary path as $1.
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+SHED_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  [ -n "$SHED_PID" ] && kill "$SHED_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# A port file is written by `serve` once the socket is bound.
+wait_port_file() {
+  i=0
+  while [ ! -s "$1" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "daemon never wrote $1" >&2; exit 1; }
+    sleep 0.1
+  done
+  cat "$1"
+}
+
+"$CLI" generate --dataset Gnutella --scale 0.03 --seed 7 --out "$WORK/g.txt"
+"$CLI" build --graph "$WORK/g.txt" --mode parallel --threads 2 --seed 7 \
+  --out "$WORK/g.index"
+
+# --- daemon up + answered traffic ----------------------------------------
+"$CLI" serve --index "$WORK/g.index" --watch --watch-poll-ms 50 \
+  --port-file "$WORK/port" --metrics-json "$WORK/serve_metrics.json" &
+DAEMON_PID=$!
+PORT="$(wait_port_file "$WORK/port")"
+
+"$CLI" serve-bench --port "$PORT" --connections 2 --requests 50 \
+  --pairs-per-request 8 > "$WORK/bench1.txt"
+cat "$WORK/bench1.txt"
+ANSWERED="$(awk '/^requests:/ {print $2}' "$WORK/bench1.txt")"
+[ "$ANSWERED" -gt 0 ] || { echo "no answered requests" >&2; exit 1; }
+grep -q ' 0 errors' "$WORK/bench1.txt"
+grep -q '^latency:.*p999' "$WORK/bench1.txt"
+
+# --- overload degrades into explicit SHED responses ----------------------
+"$CLI" serve --index "$WORK/g.index" --max-queued-pairs 4 \
+  --port-file "$WORK/shed_port" &
+SHED_PID=$!
+SHED_PORT="$(wait_port_file "$WORK/shed_port")"
+"$CLI" serve-bench --port "$SHED_PORT" --connections 1 --requests 20 \
+  --pairs-per-request 8 > "$WORK/bench_shed.txt"
+cat "$WORK/bench_shed.txt"
+SHED="$(awk '/^requests:/ {print $4}' "$WORK/bench_shed.txt")"
+[ "$SHED" -eq 20 ] || { echo "expected all 20 requests shed" >&2; exit 1; }
+kill "$SHED_PID" && wait "$SHED_PID" || true
+SHED_PID=""
+
+# --- hot swap under live load --------------------------------------------
+# Republish a different build (new seed -> new manifest) over the watched
+# path while a background bench hammers the daemon; the watcher must flip
+# the engine without failing a single in-flight query.
+"$CLI" serve-bench --port "$PORT" --connections 2 --requests 2000 \
+  --pairs-per-request 4 > "$WORK/bench_during_swap.txt" &
+LOAD_PID=$!
+"$CLI" build --graph "$WORK/g.txt" --mode parallel --threads 2 --seed 8 \
+  --out "$WORK/g.index"
+wait "$LOAD_PID" || { echo "bench under hot swap failed" >&2; exit 1; }
+grep -q ' 0 errors' "$WORK/bench_during_swap.txt"
+
+i=0
+until "$CLI" serve-bench --port "$PORT" --connections 1 --requests 1 \
+  --pairs-per-request 1 | grep -q ' 1 hot swaps'; do
+  i=$((i + 1))
+  [ "$i" -le 50 ] || { echo "hot swap never observed" >&2; exit 1; }
+  sleep 0.2
+done
+
+# --- clean shutdown flushes server.* metrics -----------------------------
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+DAEMON_PID=""
+# ScopedSignalFlush exits 128+15 after writing the snapshot.
+[ "$STATUS" -eq 143 ] || { echo "unexpected exit status $STATUS" >&2; exit 1; }
+grep -q '"server.requests":' "$WORK/serve_metrics.json"
+grep -q '"server.accepted":' "$WORK/serve_metrics.json"
+grep -q '"server.hot_swaps":1' "$WORK/serve_metrics.json"
+grep -q '"server.request_latency_ns":' "$WORK/serve_metrics.json"
+
+echo "serve smoke test: OK"
