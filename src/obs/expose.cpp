@@ -50,6 +50,59 @@ HealthInfo GetProcessHealthInfo() {
   return holder.info;
 }
 
+namespace {
+// Provider hooks the serving daemon registers at Start() and clears at
+// Stop(). Leaked holders, same shutdown-order rationale as HealthHolder.
+struct ProviderHolder {
+  util::Mutex mutex;
+  std::function<ServeStatus()> serve_status GUARDED_BY(mutex);
+  std::function<std::string()> debug_requests GUARDED_BY(mutex);
+};
+
+ProviderHolder& Providers() {
+  static ProviderHolder* holder = new ProviderHolder();
+  return *holder;
+}
+
+// Copies the hook out under the lock, then invokes it unlocked so a
+// provider that blocks (or re-enters obs) never holds the holder mutex.
+ServeStatus CurrentServeStatus() {
+  std::function<ServeStatus()> provider;
+  {
+    ProviderHolder& holder = Providers();
+    util::MutexLock lock(holder.mutex);
+    provider = holder.serve_status;
+  }
+  return provider ? provider() : ServeStatus{};
+}
+
+bool CurrentDebugRequests(std::string& body) {
+  std::function<std::string()> provider;
+  {
+    ProviderHolder& holder = Providers();
+    util::MutexLock lock(holder.mutex);
+    provider = holder.debug_requests;
+  }
+  if (!provider) {
+    return false;
+  }
+  body = provider();
+  return true;
+}
+}  // namespace
+
+void SetServeStatusProvider(std::function<ServeStatus()> provider) {
+  ProviderHolder& holder = Providers();
+  util::MutexLock lock(holder.mutex);
+  holder.serve_status = std::move(provider);
+}
+
+void SetDebugRequestsProvider(std::function<std::string()> provider) {
+  ProviderHolder& holder = Providers();
+  util::MutexLock lock(holder.mutex);
+  holder.debug_requests = std::move(provider);
+}
+
 std::string PrometheusMetricName(std::string_view name) {
   std::string out = "parapll_";
   out.reserve(out.size() + name.size());
@@ -296,6 +349,14 @@ void StatsServer::Handle(int client_fd) {
     if (options_.sampler != nullptr) {
       w.Key("telemetry_samples").Value(options_.sampler->TotalSamples());
     }
+    const ServeStatus serve = CurrentServeStatus();
+    if (serve.valid) {
+      w.Key("serve").BeginObject();
+      w.Key("queue_depth_pairs").Value(serve.queue_depth_pairs);
+      w.Key("shed").Value(serve.shed);
+      w.Key("snapshot_age_seconds").Value(serve.snapshot_age_seconds);
+      w.EndObject();
+    }
     if (health.index_mode.empty()) {
       w.Key("index").Value("none");
     } else {
@@ -312,11 +373,18 @@ void StatsServer::Handle(int client_fd) {
     out << '\n';
     body = out.str();
     content_type = "application/json; charset=utf-8";
+  } else if (path == "/debug/requests") {
+    if (CurrentDebugRequests(body)) {
+      content_type = "application/json; charset=utf-8";
+    } else {
+      status = "404 Not Found";
+      body = "no serving daemon registered a request log in this process\n";
+    }
   } else if (path == "/debug/profile") {
     HandleDebugProfile(query, status, content_type, body);
   } else {
     status = "404 Not Found";
-    body = "try /metrics, /healthz or /debug/profile\n";
+    body = "try /metrics, /healthz, /debug/requests or /debug/profile\n";
   }
 
   std::ostringstream response;

@@ -13,6 +13,10 @@
 //                         (fingerprint, mode, vertex count) published via
 //                         SetProcessHealthInfo, so operators can tell
 //                         *which* index a process is serving.
+//   GET /debug/requests — the serving daemon's wide-event request-log
+//                         ring as JSON (newest last), when a daemon in
+//                         this process registered a provider via
+//                         SetDebugRequestsProvider; 404 otherwise.
 //   GET /debug/profile  — on-demand CPU capture: ?seconds=N (default 5,
 //                         max 60) runs the obs::Profiler and returns
 //                         collapsed stacks (text) or, with &format=json,
@@ -32,6 +36,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -46,7 +51,7 @@ namespace parapll::obs {
 class TelemetrySampler;
 
 // Process version reported by /healthz; tracks the repo's PR trajectory.
-inline constexpr const char* kParaPllVersion = "0.7.0";
+inline constexpr const char* kParaPllVersion = "0.8.0";
 
 // What /healthz reports about the index this process serves. The obs
 // layer stays independent of pll::BuildManifest: whoever loads or builds
@@ -63,6 +68,25 @@ struct HealthInfo {
 // Thread-safe; call again whenever the served index changes.
 void SetProcessHealthInfo(const HealthInfo& info);
 [[nodiscard]] HealthInfo GetProcessHealthInfo();
+
+// Saturation view of the serving daemon for /healthz, mirroring the INFO
+// frame response. Like HealthInfo, the obs layer stays independent of
+// serve/: the daemon registers a provider on Start() and clears it on
+// Stop(); valid == false renders no "serve" section.
+struct ServeStatus {
+  bool valid = false;
+  std::uint64_t queue_depth_pairs = 0;  // pairs admitted, awaiting drain
+  std::uint64_t shed = 0;               // cumulative SHED responses
+  double snapshot_age_seconds = 0.0;    // age of the served index flip
+};
+
+// Both providers must be thread-safe: they run on the StatsServer's
+// worker thread. An empty std::function clears the hook.
+void SetServeStatusProvider(std::function<ServeStatus()> provider);
+
+// /debug/requests body provider — the serving daemon's wide-event
+// request-log ring rendered as JSON. Unset => the endpoint answers 404.
+void SetDebugRequestsProvider(std::function<std::string()> provider);
 
 // "query.batch.latency_ns" -> "parapll_query_batch_latency_ns".
 std::string PrometheusMetricName(std::string_view name);

@@ -132,6 +132,26 @@ double HistogramSnapshot::Quantile(double q) const {
   return static_cast<double>(max);
 }
 
+double HistogramSnapshot::FractionAbove(std::uint64_t threshold) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double t = static_cast<double>(threshold);
+  double above = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    const auto [lo, hi] = BucketRange(b);  // inclusive integer range
+    if (t < lo) {
+      above += static_cast<double>(buckets[b]);
+    } else if (t < hi) {
+      above += static_cast<double>(buckets[b]) * (hi - t) / (hi - lo + 1.0);
+    }
+  }
+  return above / static_cast<double>(count);
+}
+
 void Histogram::Record(std::uint64_t value) {
   Shard& shard = shards_[internal::ThreadSlot() & (kShards - 1)];
   // relaxed (all stores below): each shard/bucket is an independent

@@ -115,6 +115,10 @@ struct HistogramSnapshot {
   // counts and interpolates linearly inside the landing bucket, clamped
   // to the exact recorded [min, max].
   [[nodiscard]] double Quantile(double q) const;
+  // Fraction of recorded samples strictly greater than `threshold`,
+  // interpolated inside the landing bucket — the SLO-violation rate for
+  // a latency objective of `threshold`. 0 when empty.
+  [[nodiscard]] double FractionAbove(std::uint64_t threshold) const;
 };
 
 // Histogram of non-negative integer samples (latencies in ns, sizes in

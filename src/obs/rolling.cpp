@@ -1,0 +1,247 @@
+#include "obs/rolling.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/trace.hpp"
+
+namespace parapll::obs {
+
+namespace {
+
+// Lower/upper value bounds of bucket `b` (see HistogramSnapshot: bucket 0
+// holds 0, bucket b >= 1 holds [2^(b-1), 2^b)).
+std::uint64_t BucketLo(std::size_t b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+std::uint64_t BucketHi(std::size_t b) {
+  return b == 0 ? 0 : (std::uint64_t{1} << (b - 1)) * 2 - 1;
+}
+
+// cur minus prev. Cumulative min/max cannot be attributed to one
+// interval, so the delta's bounds are re-derived from its own non-empty
+// buckets (bucket resolution) — that keeps Quantile's [min, max] clamp
+// meaningful on windowed views. A Reset() between snapshots (cur behind
+// prev) restarts the delta at cur.
+HistogramSnapshot DeltaOf(const HistogramSnapshot& prev,
+                          const HistogramSnapshot& cur) {
+  HistogramSnapshot delta;
+  if (cur.count < prev.count) {
+    delta = cur;
+    return delta;
+  }
+  delta.count = cur.count - prev.count;
+  delta.sum = cur.sum >= prev.sum ? cur.sum - prev.sum : 0;
+  bool any = false;
+  for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    const std::uint64_t d =
+        cur.buckets[b] >= prev.buckets[b] ? cur.buckets[b] - prev.buckets[b]
+                                          : 0;
+    delta.buckets[b] = d;
+    if (d != 0) {
+      if (!any) {
+        delta.min = std::max(BucketLo(b), cur.min);
+        any = true;
+      }
+      delta.max = std::min(BucketHi(b), cur.max);
+    }
+  }
+  return delta;
+}
+
+void MergeInto(HistogramSnapshot& into, const HistogramSnapshot& delta) {
+  if (delta.count == 0) {
+    return;
+  }
+  if (into.count == 0) {
+    into.min = delta.min;
+    into.max = delta.max;
+  } else {
+    into.min = std::min(into.min, delta.min);
+    into.max = std::max(into.max, delta.max);
+  }
+  into.count += delta.count;
+  into.sum += delta.sum;
+  for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    into.buckets[b] += delta.buckets[b];
+  }
+}
+
+}  // namespace
+
+RollingWindow::RollingWindow(RollingWindowOptions options)
+    : options_(options) {
+  options_.interval_ns = std::max<std::uint64_t>(options_.interval_ns, 1);
+  options_.intervals = std::max<std::size_t>(options_.intervals, 1);
+}
+
+void RollingWindow::TrackHistogram(std::string_view name) {
+  Histogram& histogram = Registry::Global().GetHistogram(name);
+  util::MutexLock lock(mutex_);
+  histograms_.push_back(TrackedHistogram{std::string(name), &histogram,
+                                         histogram.Snapshot(), {}});
+}
+
+void RollingWindow::TrackCounter(std::string_view name) {
+  Counter& counter = Registry::Global().GetCounter(name);
+  util::MutexLock lock(mutex_);
+  counters_.push_back(
+      TrackedCounter{std::string(name), &counter, counter.Value(), {}});
+}
+
+void RollingWindow::Advance(std::uint64_t now_ns) {
+  util::MutexLock lock(mutex_);
+  AdvanceLocked(now_ns);
+}
+
+void RollingWindow::AdvanceLocked(std::uint64_t now_ns) {
+  if (open_start_ns_ == 0) {
+    // First call anchors the window; baselines were captured at Track*().
+    open_start_ns_ = now_ns;
+    return;
+  }
+  if (now_ns < open_start_ns_ + options_.interval_ns) {
+    return;
+  }
+  const std::uint64_t elapsed = now_ns - open_start_ns_;
+  const std::uint64_t closed = elapsed / options_.interval_ns;
+  // One live snapshot closes all `closed` intervals: idle slots are
+  // empty, and the whole delta lands in the most recent closed slot (the
+  // sub-interval timing is unknowable after the fact; window totals stay
+  // exact). Slots beyond the ring capacity would fall straight out, so
+  // only min(closed - 1, capacity) empties are materialized.
+  const auto empties = static_cast<std::size_t>(std::min<std::uint64_t>(
+      closed - 1, static_cast<std::uint64_t>(options_.intervals)));
+  for (TrackedHistogram& tracked : histograms_) {
+    const HistogramSnapshot cur = tracked.histogram->Snapshot();
+    for (std::size_t i = 0; i < empties; ++i) {
+      tracked.deltas.emplace_back();
+    }
+    tracked.deltas.push_back(DeltaOf(tracked.baseline, cur));
+    while (tracked.deltas.size() > options_.intervals) {
+      tracked.deltas.pop_front();
+    }
+    tracked.baseline = cur;
+  }
+  for (TrackedCounter& tracked : counters_) {
+    const std::uint64_t cur = tracked.counter->Value();
+    for (std::size_t i = 0; i < empties; ++i) {
+      tracked.deltas.push_back(0);
+    }
+    tracked.deltas.push_back(cur >= tracked.baseline ? cur - tracked.baseline
+                                                     : cur);
+    while (tracked.deltas.size() > options_.intervals) {
+      tracked.deltas.pop_front();
+    }
+    tracked.baseline = cur;
+  }
+  open_start_ns_ += closed * options_.interval_ns;
+}
+
+HistogramSnapshot RollingWindow::WindowedHistogram(
+    std::string_view name) const {
+  util::MutexLock lock(mutex_);
+  HistogramSnapshot merged;
+  for (const TrackedHistogram& tracked : histograms_) {
+    if (tracked.name != name) {
+      continue;
+    }
+    for (const HistogramSnapshot& delta : tracked.deltas) {
+      MergeInto(merged, delta);
+    }
+    // The open interval contributes live: current cumulative minus the
+    // last closed baseline.
+    MergeInto(merged, DeltaOf(tracked.baseline, tracked.histogram->Snapshot()));
+    break;
+  }
+  return merged;
+}
+
+std::uint64_t RollingWindow::WindowedCounter(std::string_view name) const {
+  util::MutexLock lock(mutex_);
+  for (const TrackedCounter& tracked : counters_) {
+    if (tracked.name != name) {
+      continue;
+    }
+    std::uint64_t total = 0;
+    for (const std::uint64_t delta : tracked.deltas) {
+      total += delta;
+    }
+    const std::uint64_t cur = tracked.counter->Value();
+    total += cur >= tracked.baseline ? cur - tracked.baseline : cur;
+    return total;
+  }
+  return 0;
+}
+
+double RollingWindow::WindowedSeconds(std::uint64_t now_ns) const {
+  util::MutexLock lock(mutex_);
+  if (open_start_ns_ == 0) {
+    return 0.0;
+  }
+  std::size_t slots = 0;
+  for (const TrackedHistogram& tracked : histograms_) {
+    slots = std::max(slots, tracked.deltas.size());
+  }
+  for (const TrackedCounter& tracked : counters_) {
+    slots = std::max(slots, tracked.deltas.size());
+  }
+  const std::uint64_t open_ns =
+      now_ns > open_start_ns_
+          ? std::min(now_ns - open_start_ns_, options_.interval_ns)
+          : 0;
+  return (static_cast<double>(slots) *
+              static_cast<double>(options_.interval_ns) +
+          static_cast<double>(open_ns)) /
+         1e9;
+}
+
+double RollingWindow::RatePerSecond(std::string_view name,
+                                    std::uint64_t now_ns) const {
+  const double seconds = WindowedSeconds(now_ns);
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(WindowedCounter(name)) / seconds;
+}
+
+ServeSloGauges::ServeSloGauges(ServeSloOptions options)
+    : options_(options), window_(options.window) {
+  window_.TrackHistogram("server.request_latency_ns");
+  window_.TrackCounter("server.requests");
+  window_.TrackCounter("server.shed");
+  probe_.emplace("server.window.p50_ms",
+                 [this] { return Collect(TraceNowNs()).p50_ms; });
+}
+
+WindowedServeStats ServeSloGauges::Collect(std::uint64_t now_ns) {
+  window_.Advance(now_ns);
+  WindowedServeStats stats;
+  const HistogramSnapshot latency =
+      window_.WindowedHistogram("server.request_latency_ns");
+  stats.p50_ms = latency.Quantile(0.50) / 1e6;
+  stats.p99_ms = latency.Quantile(0.99) / 1e6;
+  const std::uint64_t requests = window_.WindowedCounter("server.requests");
+  const std::uint64_t shed = window_.WindowedCounter("server.shed");
+  stats.qps = window_.RatePerSecond("server.requests", now_ns);
+  stats.shed_rate = requests == 0 ? 0.0
+                                  : static_cast<double>(shed) /
+                                        static_cast<double>(requests);
+  const auto objective_ns =
+      static_cast<std::uint64_t>(std::max(options_.slo_ms, 0.0) * 1e6);
+  stats.slo_violation_rate = latency.FractionAbove(objective_ns);
+  const double error_budget = std::max(1.0 - options_.slo_target, 1e-9);
+  stats.slo_burn_rate = stats.slo_violation_rate / error_budget;
+
+  Registry& registry = Registry::Global();
+  registry.GetGauge("server.window.p50_ms").Set(stats.p50_ms);
+  registry.GetGauge("server.window.p99_ms").Set(stats.p99_ms);
+  registry.GetGauge("server.window.qps").Set(stats.qps);
+  registry.GetGauge("server.window.shed_rate").Set(stats.shed_rate);
+  registry.GetGauge("server.window.slo_violation_rate")
+      .Set(stats.slo_violation_rate);
+  registry.GetGauge("server.window.slo_burn_rate").Set(stats.slo_burn_rate);
+  return stats;
+}
+
+}  // namespace parapll::obs

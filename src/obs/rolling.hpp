@@ -1,0 +1,136 @@
+// Rolling-window metric views + serving SLO gauges.
+//
+// The registry's counters and histograms are process-lifetime-cumulative:
+// good for totals, useless for "p99 over the last minute". RollingWindow
+// layers windowed views on top without touching the hot path — it
+// snapshots tracked metrics, closes fixed-width intervals as time
+// advances, and keeps a ring of per-interval *deltas* (histogram bucket
+// deltas, counter deltas). Windowed values merge the ring plus the
+// still-open interval, so they decay as old intervals fall out.
+//
+// Advance() is lazy: nothing ticks in the background. The intended driver
+// is a pull-gauge probe (obs/telemetry.hpp) — ProbeRegistry::Collect()
+// runs before every /metrics render, so each scrape closes whatever
+// intervals elapsed since the previous one. When a single Advance() spans
+// several intervals, the whole delta is attributed to the most recent
+// closed interval (the exact sub-interval timing is unknowable after the
+// fact); totals over the window stay exact.
+//
+// ServeSloGauges packages the serving use case: it tracks the daemon's
+// request-latency histogram and request/shed counters and publishes
+// windowed gauges under "server.window.*" —
+//   p50_ms / p99_ms      windowed latency quantiles
+//   qps                  requests per second over the window
+//   shed_rate            shed / requests over the window
+//   slo_violation_rate   fraction of requests slower than the objective
+//   slo_burn_rate        violation_rate / (1 - slo_target): 1.0 burns the
+//                        error budget exactly as fast as it accrues
+// All six are computed by one registered probe per scrape; the latency
+// objective (--slo-ms) and target come from ServeSloOptions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace parapll::obs {
+
+struct RollingWindowOptions {
+  std::uint64_t interval_ns = 1'000'000'000;  // width of one ring slot
+  std::size_t intervals = 60;                 // slots kept (window span)
+};
+
+class RollingWindow {
+ public:
+  explicit RollingWindow(RollingWindowOptions options = {});
+
+  // Registers a registry metric to window. Call before the first
+  // Advance(); the handle lookup registers the metric if it is new.
+  void TrackHistogram(std::string_view name);
+  void TrackCounter(std::string_view name);
+
+  // Closes every interval that elapsed before `now_ns` (the first call
+  // only anchors the window and snapshots baselines). Thread-safe.
+  void Advance(std::uint64_t now_ns);
+
+  // Windowed views: ring deltas merged with the open interval's delta
+  // (live value minus the last closed baseline). Unknown names return
+  // empty/zero. Thread-safe.
+  [[nodiscard]] HistogramSnapshot WindowedHistogram(
+      std::string_view name) const;
+  [[nodiscard]] std::uint64_t WindowedCounter(std::string_view name) const;
+
+  // Seconds the current window actually covers: closed slots plus the
+  // open interval's age. 0 before the first Advance().
+  [[nodiscard]] double WindowedSeconds(std::uint64_t now_ns) const;
+  [[nodiscard]] double RatePerSecond(std::string_view name,
+                                     std::uint64_t now_ns) const;
+
+ private:
+  struct TrackedHistogram {
+    std::string name;
+    const Histogram* histogram = nullptr;
+    HistogramSnapshot baseline;            // cumulative at last close
+    std::deque<HistogramSnapshot> deltas;  // oldest first
+  };
+  struct TrackedCounter {
+    std::string name;
+    const Counter* counter = nullptr;
+    std::uint64_t baseline = 0;
+    std::deque<std::uint64_t> deltas;
+  };
+
+  void AdvanceLocked(std::uint64_t now_ns) REQUIRES(mutex_);
+
+  RollingWindowOptions options_;  // written by the ctor only
+  mutable util::Mutex mutex_;
+  std::vector<TrackedHistogram> histograms_ GUARDED_BY(mutex_);
+  std::vector<TrackedCounter> counters_ GUARDED_BY(mutex_);
+  // Start of the still-open interval; 0 until the first Advance().
+  std::uint64_t open_start_ns_ GUARDED_BY(mutex_) = 0;
+};
+
+struct ServeSloOptions {
+  RollingWindowOptions window;
+  double slo_ms = 50.0;     // latency objective for one request
+  double slo_target = 0.99; // fraction of requests that must meet it
+};
+
+// Computed windowed serving stats; exposed for tests and direct callers.
+struct WindowedServeStats {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;
+  double shed_rate = 0.0;
+  double slo_violation_rate = 0.0;
+  double slo_burn_rate = 0.0;
+};
+
+class ServeSloGauges {
+ public:
+  explicit ServeSloGauges(ServeSloOptions options = {});
+
+  // Advances the window to `now_ns`, publishes all "server.window.*"
+  // gauges, and returns the computed stats. Thread-safe; also invoked by
+  // the registered probe on every /metrics scrape.
+  WindowedServeStats Collect(std::uint64_t now_ns);
+
+ private:
+  ServeSloOptions options_;  // written by the ctor only
+  RollingWindow window_;
+  // One probe drives all six gauges: it Collect()s (which Set()s the
+  // other five directly) and returns p50_ms as its own gauge value.
+  // Emplaced last in the ctor so a concurrent scrape never sees a
+  // half-tracked window.
+  std::optional<ScopedProbe> probe_;
+};
+
+}  // namespace parapll::obs

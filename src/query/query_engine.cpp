@@ -57,11 +57,28 @@ void QueryEngine::RunShard(std::span<const QueryPair> pairs,
 }
 
 void QueryEngine::RunShardLogged(std::span<const QueryPair> pairs,
-                                 std::span<graph::Distance> out) const {
+                                 std::span<graph::Distance> out,
+                                 std::size_t base,
+                                 std::span<const BatchTraceSlice> traces)
+    const {
   const pll::LabelStore& store = index_.Store();
   SlowQueryLog& log = *options_.slow_log;
+  // Slices are sorted and disjoint, and this shard walks the batch in
+  // order, so one forward cursor resolves every pair's trace.
+  std::size_t cursor = 0;
+  while (cursor < traces.size() && traces[cursor].end <= base) {
+    ++cursor;
+  }
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const auto [s, t] = pairs[i];
+    const std::size_t global = base + i;
+    while (cursor < traces.size() && traces[cursor].end <= global) {
+      ++cursor;
+    }
+    const std::string_view trace_id =
+        cursor < traces.size() && traces[cursor].begin <= global
+            ? traces[cursor].trace_id
+            : std::string_view{};
     const std::uint64_t start_ns = obs::TraceNowNs();
     std::uint64_t scanned = 0;
     graph::Distance d;
@@ -75,12 +92,13 @@ void QueryEngine::RunShardLogged(std::span<const QueryPair> pairs,
       d = pll::QuerySentinelCounted(a, b, scanned);
     }
     out[i] = d;
-    log.Observe(s, t, d, scanned, obs::TraceNowNs() - start_ns);
+    log.Observe(s, t, d, scanned, obs::TraceNowNs() - start_ns, trace_id);
   }
 }
 
-void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
-                             std::span<graph::Distance> out) {
+std::uint64_t QueryEngine::QueryBatchTraced(
+    std::span<const QueryPair> pairs, std::span<graph::Distance> out,
+    std::span<const BatchTraceSlice> traces) {
   if (pairs.size() != out.size()) {
     throw std::invalid_argument("QueryBatch spans differ in size");
   }
@@ -113,7 +131,7 @@ void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
   // slow-query log keep the branch-minimal merge loop.
   const bool logged = options_.slow_log != nullptr;
   if (shards == 1 || pool_ == nullptr) {
-    logged ? RunShardLogged(pairs, out) : RunShard(pairs, out);
+    logged ? RunShardLogged(pairs, out, 0, traces) : RunShard(pairs, out);
   } else {
     const std::size_t chunk = (pairs.size() + shards - 1) / shards;
     for (std::size_t s = 0; s < shards; ++s) {
@@ -122,14 +140,14 @@ void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
       if (begin >= end) {
         break;
       }
-      pool_->Submit([this, metrics, logged, context,
+      pool_->Submit([this, metrics, logged, context, begin, traces,
                      shard_pairs = pairs.subspan(begin, end - begin),
                      shard_out = out.subspan(begin, end - begin)](std::size_t) {
         // Worker threads inherit the batch's context so their profiler
         // samples and slow-log records attribute to it.
         obs::ScopedRequestContext shard_context(context);
         const std::uint64_t shard_start = metrics ? obs::TraceNowNs() : 0;
-        logged ? RunShardLogged(shard_pairs, shard_out)
+        logged ? RunShardLogged(shard_pairs, shard_out, begin, traces)
                : RunShard(shard_pairs, shard_out);
         if (metrics) {
           static obs::Histogram& shard_ns =
@@ -155,6 +173,12 @@ void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
     latency.RecordWithExemplar(obs::TraceNowNs() - start_ns, context);
     sizes.Record(pairs.size());
   }
+  return context;
+}
+
+void QueryEngine::QueryBatch(std::span<const QueryPair> pairs,
+                             std::span<graph::Distance> out) {
+  QueryBatchTraced(pairs, out, {});
 }
 
 std::vector<graph::Distance> QueryEngine::QueryBatch(

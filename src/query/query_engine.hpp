@@ -30,6 +30,18 @@ namespace parapll::query {
 // One (source, target) pair in original vertex ids.
 using QueryPair = std::pair<graph::VertexId, graph::VertexId>;
 
+// Contiguous range of a batch's pairs attributed to one wire-level trace
+// id — the serving daemon coalesces many client requests into one batch
+// and passes its per-request slices here so slow-query-log records name
+// the client request, not just the batch. Slices must be sorted by
+// `begin`, disjoint, and inside the batch; gaps are simply unattributed.
+// The viewed strings must outlive the QueryBatchTraced call.
+struct BatchTraceSlice {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+  std::string_view trace_id;
+};
+
 struct QueryEngineOptions {
   // Worker threads answering shards; 1 answers on the calling thread.
   std::size_t threads = 1;
@@ -63,14 +75,25 @@ class QueryEngine {
   // Convenience allocating overload.
   std::vector<graph::Distance> QueryBatch(std::span<const QueryPair> pairs);
 
+  // QueryBatch plus trace attribution: `traces` maps contiguous pair
+  // ranges to client trace ids for the slow-query log. Returns the
+  // batch's obs request-context id so the caller can join its own
+  // records (the serving daemon's wide-event log) to profiler samples
+  // and histogram exemplars carrying the same id.
+  std::uint64_t QueryBatchTraced(std::span<const QueryPair> pairs,
+                                 std::span<graph::Distance> out,
+                                 std::span<const BatchTraceSlice> traces);
+
  private:
   // Answers one contiguous shard (already validated).
   void RunShard(std::span<const QueryPair> pairs,
                 std::span<graph::Distance> out) const;
   // Same answers, but each pair is timed and scanned-entry-counted for
-  // the attached slow-query log.
+  // the attached slow-query log. `base` is the shard's offset in the
+  // batch, used to resolve the trace slice covering each pair.
   void RunShardLogged(std::span<const QueryPair> pairs,
-                      std::span<graph::Distance> out) const;
+                      std::span<graph::Distance> out, std::size_t base,
+                      std::span<const BatchTraceSlice> traces) const;
 
   const pll::Index& index_;
   QueryEngineOptions options_;

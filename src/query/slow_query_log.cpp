@@ -24,7 +24,8 @@ SlowQueryLog::SlowQueryLog(std::ostream& out, SlowQueryLogOptions options)
 void SlowQueryLog::Observe(graph::VertexId s, graph::VertexId t,
                            graph::Distance distance,
                            std::uint64_t entries_scanned,
-                           std::uint64_t latency_ns) {
+                           std::uint64_t latency_ns,
+                           std::string_view trace_id) {
   // relaxed: independent statistic / sampling counter; no other data is
   // published through it.
   const std::uint64_t n = observed_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -35,14 +36,15 @@ void SlowQueryLog::Observe(graph::VertexId s, graph::VertexId t,
     return;
   }
   Write(s, t, distance, entries_scanned, latency_ns,
-        slow ? "slow" : "sampled", obs::CurrentRequestContext());
+        slow ? "slow" : "sampled", obs::CurrentRequestContext(), trace_id);
 }
 
 void SlowQueryLog::Write(graph::VertexId s, graph::VertexId t,
                          graph::Distance distance,
                          std::uint64_t entries_scanned,
                          std::uint64_t latency_ns, const char* reason,
-                         std::uint64_t request_id) {
+                         std::uint64_t request_id,
+                         std::string_view trace_id) {
   util::MutexLock lock(write_mutex_);
   util::JsonWriter w(*out_);
   w.BeginObject();
@@ -58,6 +60,9 @@ void SlowQueryLog::Write(graph::VertexId s, graph::VertexId t,
   w.Key("latency_ns").Value(latency_ns);
   w.Key("reason").Value(reason);
   w.Key("request_id").Value(obs::ContextIdToString(request_id));
+  if (!trace_id.empty()) {
+    w.Key("trace_id").Value(trace_id);
+  }
   w.EndObject();
   *out_ << '\n';
   out_->flush();

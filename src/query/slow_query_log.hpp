@@ -9,7 +9,8 @@
 // Record schema (one JSON object per line; see EXPERIMENTS.md):
 //   {"mono_ns":..,"s":..,"t":..,"distance":..,  // null when unreachable
 //    "entries_scanned":..,"latency_ns":..,"reason":"slow"|"sampled",
-//    "request_id":"query_batch/42"}             // obs request context
+//    "request_id":"query_batch/42",             // obs request context
+//    "trace_id":".."}                           // only when attributed
 //
 // The request_id is the calling thread's obs::CurrentRequestContext() at
 // Observe() time (the engine scopes one per batch), so slow-log records,
@@ -26,6 +27,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "graph/types.hpp"
 #include "util/mutex.hpp"
@@ -56,9 +58,13 @@ class SlowQueryLog {
     return options_;
   }
 
-  // Called per answered query (original vertex ids). Thread-safe.
+  // Called per answered query (original vertex ids). Thread-safe. A
+  // non-empty trace_id (the serving path's wire-level request id) is
+  // recorded next to the request context so one slow *pair* joins back
+  // to the client request that asked it.
   void Observe(graph::VertexId s, graph::VertexId t, graph::Distance distance,
-               std::uint64_t entries_scanned, std::uint64_t latency_ns);
+               std::uint64_t entries_scanned, std::uint64_t latency_ns,
+               std::string_view trace_id = {});
 
   // Queries seen / records written so far.
   // relaxed (both): independent statistics; may lag in-flight Observe()
@@ -76,7 +82,8 @@ class SlowQueryLog {
  private:
   void Write(graph::VertexId s, graph::VertexId t, graph::Distance distance,
              std::uint64_t entries_scanned, std::uint64_t latency_ns,
-             const char* reason, std::uint64_t request_id);
+             const char* reason, std::uint64_t request_id,
+             std::string_view trace_id);
 
   SlowQueryLogOptions options_;  // written by the ctors only
   std::unique_ptr<std::ofstream> file_;  // set by the path constructor

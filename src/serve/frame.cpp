@@ -1,5 +1,6 @@
 #include "serve/frame.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -44,15 +45,60 @@ std::string Framed(std::string payload) {
   throw std::runtime_error(std::string("serve frame: ") + what);
 }
 
+// Appends the optional trailing trace block; an empty id appends nothing
+// (the frame stays byte-identical to the pre-0.8 encoding).
+void AppendTrace(std::string& payload, std::string_view trace_id) {
+  if (trace_id.empty()) {
+    return;
+  }
+  if (trace_id.size() > kMaxTraceIdBytes) {
+    throw std::invalid_argument(
+        "serve frame: trace id exceeds kMaxTraceIdBytes");
+  }
+  payload.push_back(static_cast<char>(trace_id.size()));
+  payload.append(trace_id);
+}
+
+// Validates and extracts the optional trace block that may follow the
+// fixed body ending at `base`. Declared lengths over the cap and any
+// size mismatch throw *before* anything is copied; the returned id is
+// sanitized, never raw wire bytes.
+std::string DecodeTrace(std::string_view payload, std::size_t base) {
+  if (payload.size() == base) {
+    return {};
+  }
+  const auto trace_len = static_cast<std::uint8_t>(payload[base]);
+  if (trace_len > kMaxTraceIdBytes) {
+    Fail("trace id exceeds kMaxTraceIdBytes");
+  }
+  if (payload.size() != base + 1 + std::size_t{trace_len}) {
+    Fail("size does not match the declared trace length");
+  }
+  return SanitizeTraceId(payload.substr(base + 1, trace_len));
+}
+
 }  // namespace
 
-std::string EncodeDistanceRequest(std::span<const query::QueryPair> pairs) {
+std::string SanitizeTraceId(std::string_view raw) {
+  std::string out;
+  out.reserve(std::min(raw.size(), kMaxTraceIdBytes));
+  for (const char c : raw.substr(0, std::min(raw.size(), kMaxTraceIdBytes))) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == ':' || c == '/' || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string EncodeDistanceRequest(std::span<const query::QueryPair> pairs,
+                                  std::string_view trace_id) {
   if (pairs.size() > kMaxPairsPerRequest) {
     throw std::invalid_argument(
         "serve frame: request exceeds kMaxPairsPerRequest");
   }
   std::string payload;
-  payload.reserve(4 + 1 + 4 + pairs.size() * 8);
+  payload.reserve(4 + 1 + 4 + pairs.size() * 8 + 1 + trace_id.size());
   AppendU32(payload, kRequestMagic);
   payload.push_back(
       static_cast<char>(RequestType::kDistanceQuery));
@@ -61,6 +107,7 @@ std::string EncodeDistanceRequest(std::span<const query::QueryPair> pairs) {
     AppendU32(payload, s);
     AppendU32(payload, t);
   }
+  AppendTrace(payload, trace_id);
   return Framed(std::move(payload));
 }
 
@@ -71,26 +118,30 @@ std::string EncodeInfoRequest() {
   return Framed(std::move(payload));
 }
 
-std::string EncodeOkResponse(std::span<const graph::Distance> distances) {
+std::string EncodeOkResponse(std::span<const graph::Distance> distances,
+                             std::string_view trace_id) {
   if (distances.size() > kMaxPairsPerRequest) {
     throw std::invalid_argument(
         "serve frame: response exceeds kMaxPairsPerRequest");
   }
   std::string payload;
-  payload.reserve(4 + 1 + 4 + distances.size() * 8);
+  payload.reserve(4 + 1 + 4 + distances.size() * 8 + 1 + trace_id.size());
   AppendU32(payload, kResponseMagic);
   payload.push_back(static_cast<char>(ResponseStatus::kOk));
   AppendU32(payload, static_cast<std::uint32_t>(distances.size()));
   for (const graph::Distance d : distances) {
     AppendU64(payload, d);
   }
+  AppendTrace(payload, trace_id);
   return Framed(std::move(payload));
 }
 
-std::string EncodeStatusResponse(ResponseStatus status) {
+std::string EncodeStatusResponse(ResponseStatus status,
+                                 std::string_view trace_id) {
   std::string payload;
   AppendU32(payload, kResponseMagic);
   payload.push_back(static_cast<char>(status));
+  AppendTrace(payload, trace_id);
   return Framed(std::move(payload));
 }
 
@@ -101,6 +152,9 @@ std::string EncodeInfoResponse(const ServerInfo& info) {
   AppendU32(payload, info.num_vertices);
   AppendU64(payload, info.fingerprint);
   AppendU64(payload, info.hot_swaps);
+  AppendU64(payload, info.queued_pairs);
+  AppendU64(payload, info.shed);
+  AppendU64(payload, info.snapshot_age_ms);
   return Framed(std::move(payload));
 }
 
@@ -123,11 +177,13 @@ Request DecodeRequestPayload(std::string_view payload) {
       if (count > kMaxPairsPerRequest) {
         Fail("pair count exceeds kMaxPairsPerRequest");
       }
-      // Exact-size check before the reserve: the allocation below is
+      // Full-structure check before the reserve: the allocation below is
       // bounded by bytes actually delivered, never by the declared count.
-      if (payload.size() != 9 + std::size_t{count} * 8) {
+      const std::size_t base = 9 + std::size_t{count} * 8;
+      if (payload.size() < base) {
         Fail("DISTANCE_QUERY size does not match pair count");
       }
+      request.trace_id = DecodeTrace(payload, base);
       request.pairs.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         const std::size_t at = 9 + std::size_t{i} * 8;
@@ -167,9 +223,11 @@ Response DecodeResponsePayload(std::string_view payload) {
       if (count > kMaxPairsPerRequest) {
         Fail("distance count exceeds kMaxPairsPerRequest");
       }
-      if (payload.size() != 9 + std::size_t{count} * 8) {
+      const std::size_t base = 9 + std::size_t{count} * 8;
+      if (payload.size() < base) {
         Fail("OK response size does not match distance count");
       }
+      response.trace_id = DecodeTrace(payload, base);
       response.distances.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         response.distances.push_back(ReadU64(payload, 9 + std::size_t{i} * 8));
@@ -179,19 +237,24 @@ Response DecodeResponsePayload(std::string_view payload) {
     case static_cast<std::uint8_t>(ResponseStatus::kShed):
     case static_cast<std::uint8_t>(ResponseStatus::kBadRequest): {
       response.status = static_cast<ResponseStatus>(status);
-      if (payload.size() != 5) {
-        Fail("empty-body response carries trailing bytes");
-      }
+      response.trace_id = DecodeTrace(payload, 5);
       return response;
     }
     case static_cast<std::uint8_t>(ResponseStatus::kInfo): {
       response.status = ResponseStatus::kInfo;
-      if (payload.size() != 5 + 4 + 8 + 8) {
+      // 25 bytes = the pre-0.8 body (identity only); 49 adds the
+      // saturation fields. Anything else is malformed.
+      if (payload.size() != 25 && payload.size() != 49) {
         Fail("INFO response has wrong size");
       }
       response.info.num_vertices = ReadU32(payload, 5);
       response.info.fingerprint = ReadU64(payload, 9);
       response.info.hot_swaps = ReadU64(payload, 17);
+      if (payload.size() == 49) {
+        response.info.queued_pairs = ReadU64(payload, 25);
+        response.info.shed = ReadU64(payload, 33);
+        response.info.snapshot_age_ms = ReadU64(payload, 41);
+      }
       return response;
     }
     default:

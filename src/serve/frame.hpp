@@ -9,10 +9,23 @@
 //   request  = u32 kRequestMagic  | u8 RequestType  | body
 //   response = u32 kResponseMagic | u8 ResponseStatus | body
 //
-//   DISTANCE_QUERY body: u32 count | count x (u32 s, u32 t)
-//   OK body:             u32 count | count x u64 distance
+//   DISTANCE_QUERY body: u32 count | count x (u32 s, u32 t) [| trace]
+//   OK body:             u32 count | count x u64 distance   [| trace]
 //   INFO response body:  u32 num_vertices | u64 fingerprint | u64 hot_swaps
-//   SHED / BAD_REQUEST / INFO request: empty body
+//                        | u64 queued_pairs | u64 shed | u64 snapshot_age_ms
+//                        (the 25-byte pre-0.8 body without the last three
+//                        fields still decodes, for older daemons)
+//   SHED / BAD_REQUEST body: empty                          [| trace]
+//   INFO request: empty body
+//
+// `trace` is an optional trailing block `u8 trace_len | trace_len bytes`
+// carrying a client-supplied trace id (absent block == no id — old
+// clients' frames are byte-identical to pre-0.8). The server echoes the
+// request's id on the matching OK/SHED response and threads it through
+// the wide-event request log and slow-query log. Hostile bytes are
+// sanitized on decode: ids are capped at kMaxTraceIdBytes (a longer
+// declared length throws) and every byte outside [A-Za-z0-9._:/-] is
+// replaced with '_' so ids are always safe to grep and to embed in JSON.
 //
 // Decoding follows the repo's untrusted-wire discipline (see
 // corrupt_input_test): magic, discriminator, and count are validated
@@ -44,12 +57,16 @@ inline constexpr std::uint32_t kResponseMagic = 0x71735031;  // "1Psq"
 // distances in one OK response. Anything larger must be split client-side.
 inline constexpr std::uint32_t kMaxPairsPerRequest = 65536;
 
-// Largest legal payloads, derived from the cap: magic + type/status byte
-// [+ count + count * sizeof(element)].
+// Hard cap on a trace id's length on the wire; a declared trace_len
+// beyond this is a malformed frame, and encoders refuse longer ids.
+inline constexpr std::size_t kMaxTraceIdBytes = 64;
+
+// Largest legal payloads, derived from the caps: magic + type/status byte
+// [+ count + count * sizeof(element)] [+ trace_len byte + trace bytes].
 inline constexpr std::size_t kMaxRequestPayload =
-    4 + 1 + 4 + std::size_t{kMaxPairsPerRequest} * 8;
+    4 + 1 + 4 + std::size_t{kMaxPairsPerRequest} * 8 + 1 + kMaxTraceIdBytes;
 inline constexpr std::size_t kMaxResponsePayload =
-    4 + 1 + 4 + std::size_t{kMaxPairsPerRequest} * 8;
+    4 + 1 + 4 + std::size_t{kMaxPairsPerRequest} * 8 + 1 + kMaxTraceIdBytes;
 
 enum class RequestType : std::uint8_t {
   kDistanceQuery = 1,  // N (s, t) pairs -> N distances
@@ -66,33 +83,47 @@ enum class ResponseStatus : std::uint8_t {
 struct Request {
   RequestType type = RequestType::kDistanceQuery;
   std::vector<query::QueryPair> pairs;  // DISTANCE_QUERY only
+  std::string trace_id;  // sanitized; empty when the client sent none
 };
 
-// INFO response body: enough for a client to generate valid queries and
-// for tests to observe hot swaps without scraping metrics.
+// INFO response body: enough for a client to generate valid queries, and
+// a saturation view (queue depth, sheds, snapshot age) so a probe can
+// see overload without scraping metrics.
 struct ServerInfo {
   std::uint32_t num_vertices = 0;
   std::uint64_t fingerprint = 0;  // BuildManifest graph fingerprint
   std::uint64_t hot_swaps = 0;
+  std::uint64_t queued_pairs = 0;     // admitted, awaiting the next drain
+  std::uint64_t shed = 0;             // cumulative SHED responses
+  std::uint64_t snapshot_age_ms = 0;  // ms since the served index flip
 };
 
 struct Response {
   ResponseStatus status = ResponseStatus::kOk;
   std::vector<graph::Distance> distances;  // kOk only
   ServerInfo info;                         // kInfo only
+  std::string trace_id;  // echoed request id (kOk/kShed/kBadRequest)
 };
+
+// Truncates to kMaxTraceIdBytes and replaces every byte outside
+// [A-Za-z0-9._:/-] with '_': the id a hostile client sent becomes safe
+// to log, grep, and embed in JSON without escaping surprises.
+[[nodiscard]] std::string SanitizeTraceId(std::string_view raw);
 
 // --- encoding (always produces a complete frame, length prefix included) ---
 
-// Throws std::invalid_argument when pairs.size() > kMaxPairsPerRequest.
+// Throws std::invalid_argument when pairs.size() > kMaxPairsPerRequest or
+// trace_id.size() > kMaxTraceIdBytes. An empty trace_id omits the trace
+// block entirely (byte-identical to the pre-0.8 encoding).
 [[nodiscard]] std::string EncodeDistanceRequest(
-    std::span<const query::QueryPair> pairs);
+    std::span<const query::QueryPair> pairs, std::string_view trace_id = {});
 [[nodiscard]] std::string EncodeInfoRequest();
 
 [[nodiscard]] std::string EncodeOkResponse(
-    std::span<const graph::Distance> distances);
-// kShed / kBadRequest (empty-body statuses).
-[[nodiscard]] std::string EncodeStatusResponse(ResponseStatus status);
+    std::span<const graph::Distance> distances, std::string_view trace_id = {});
+// kShed / kBadRequest (statuses whose body is just the optional trace).
+[[nodiscard]] std::string EncodeStatusResponse(ResponseStatus status,
+                                               std::string_view trace_id = {});
 [[nodiscard]] std::string EncodeInfoResponse(const ServerInfo& info);
 
 // --- decoding (payload = frame minus the length prefix) -------------------

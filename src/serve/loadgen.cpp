@@ -67,8 +67,9 @@ Response ServeClient::Call(const std::string& frame) {
   return DecodeResponsePayload(payload);
 }
 
-Response ServeClient::Distance(std::span<const query::QueryPair> pairs) {
-  return Call(EncodeDistanceRequest(pairs));
+Response ServeClient::Distance(std::span<const query::QueryPair> pairs,
+                               std::string_view trace_id) {
+  return Call(EncodeDistanceRequest(pairs, trace_id));
 }
 
 ServerInfo ServeClient::Info() {
@@ -104,11 +105,18 @@ std::vector<query::QueryPair> RandomPairs(util::Rng& rng, std::size_t count,
 
 void OneRequest(ServeClient& client,
                 std::span<const query::QueryPair> pairs,
-                WorkerResult& result) {
+                std::string_view trace_id, WorkerResult& result) {
   const std::uint64_t begin_ns = obs::TraceNowNs();
   try {
-    const Response response = client.Distance(pairs);
+    const Response response = client.Distance(pairs, trace_id);
     result.latencies_ns.push_back(obs::TraceNowNs() - begin_ns);
+    // The daemon echoes the trace id on every response (OK and SHED);
+    // a mismatch means request/response framing skewed — treat it as a
+    // protocol error, not a served request.
+    if (!trace_id.empty() && response.trace_id != trace_id) {
+      ++result.errors;
+      return;
+    }
     switch (response.status) {
       case ResponseStatus::kOk:
         ++result.answered;
@@ -124,6 +132,15 @@ void OneRequest(ServeClient& client,
   } catch (const std::exception&) {
     ++result.errors;
   }
+}
+
+std::string TraceIdFor(const LoadGenOptions& options, std::size_t worker,
+                       std::size_t request) {
+  if (options.trace_prefix.empty()) {
+    return {};
+  }
+  return options.trace_prefix + "-w" + std::to_string(worker) + "-r" +
+         std::to_string(request);
 }
 
 std::uint64_t Percentile(const std::vector<std::uint64_t>& sorted, double q) {
@@ -166,7 +183,7 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options) {
              r < options.requests_per_connection && client.Connected(); ++r) {
           const auto pairs = RandomPairs(rng, options.pairs_per_request,
                                          options.max_vertex);
-          OneRequest(client, pairs, result);
+          OneRequest(client, pairs, TraceIdFor(options, w, r), result);
         }
         return;
       }
@@ -191,7 +208,7 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options) {
         }
         const auto pairs = RandomPairs(rng, options.pairs_per_request,
                                        options.max_vertex);
-        OneRequest(client, pairs, result);
+        OneRequest(client, pairs, TraceIdFor(options, w, k), result);
       }
     });
   }
@@ -232,7 +249,8 @@ void ServeClient::Close() {}
 Response ServeClient::Call(const std::string&) {
   throw std::runtime_error("serve client: no socket support");
 }
-Response ServeClient::Distance(std::span<const query::QueryPair>) {
+Response ServeClient::Distance(std::span<const query::QueryPair>,
+                               std::string_view) {
   throw std::runtime_error("serve client: no socket support");
 }
 ServerInfo ServeClient::Info() {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/types.hpp"
@@ -40,9 +41,12 @@ class ServeClient {
   [[nodiscard]] bool Connected() const { return fd_ >= 0; }
 
   // Sends one DISTANCE_QUERY and blocks for its response (kOk with
-  // pairs.size() distances, or kShed / kBadRequest). Throws
-  // std::runtime_error on connection loss or a malformed response.
-  Response Distance(std::span<const query::QueryPair> pairs);
+  // pairs.size() distances, or kShed / kBadRequest). A non-empty
+  // trace_id rides the request's trace block and comes back echoed in
+  // Response::trace_id. Throws std::runtime_error on connection loss or
+  // a malformed response.
+  Response Distance(std::span<const query::QueryPair> pairs,
+                    std::string_view trace_id = {});
 
   // Sends one INFO request and blocks for the answer.
   ServerInfo Info();
@@ -66,6 +70,11 @@ struct LoadGenOptions {
   double open_loop_qps = 0.0;
   double duration_seconds = 1.0;  // open loop only
   std::uint64_t seed = 1;
+  // Non-empty: request k of worker w carries trace id
+  // "<prefix>-w<w>-r<k>", and each response's echoed trace id is checked
+  // against it (a mismatch counts as an error). Empty sends no trace
+  // block, exercising the server-minted-id path.
+  std::string trace_prefix = "lg";
 };
 
 struct LoadGenReport {

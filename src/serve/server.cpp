@@ -49,6 +49,8 @@ struct ServerMetrics {
       obs::Registry::Global().GetGauge("server.queue_depth");
   obs::Histogram& request_latency =
       obs::Registry::Global().GetHistogram("server.request_latency_ns");
+  obs::Histogram& queue_wait =
+      obs::Registry::Global().GetHistogram("server.queue_wait_ns");
 };
 
 ServerMetrics& Metrics() {
@@ -61,6 +63,7 @@ ServerMetrics& Metrics() {
 // Per-connection state, owned (and touched) by the event-loop thread only.
 struct QueryServer::Connection {
   int fd = -1;
+  std::uint64_t id = 0;  // accept sequence number, for the request log
   FrameReader reader{kMaxRequestPayload};
   // Write side: responses append here; FlushTo sends as the socket
   // accepts, so a slow reader parks bytes instead of stalling the loop.
@@ -76,14 +79,17 @@ struct QueryServer::PendingRequest {
   Connection* conn = nullptr;
   std::uint64_t admitted_ns = 0;
   std::vector<query::QueryPair> pairs;
+  std::string trace_id;  // sanitized wire id; never empty once admitted
 };
 
 QueryServer::QueryServer(pll::Index index, ServeOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), request_log_(options_.request_log) {
   engine_options_.threads = std::max<std::size_t>(options_.engine_threads, 1);
   engine_options_.min_pairs_per_shard = options_.min_pairs_per_shard;
+  engine_options_.slow_log = options_.slow_log;
   util::MutexLock lock(mutex_);
   served_ = std::make_shared<Served>(std::move(index), engine_options_);
+  served_->published_ns = obs::TraceNowNs();
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -112,6 +118,12 @@ ServerInfo QueryServer::InfoSnapshot() const {
   info.num_vertices = served->index.NumVertices();
   info.fingerprint = served->index.Manifest().graph_fingerprint;
   info.hot_swaps = hot_swaps_.load();
+  info.queued_pairs = queued_pairs_.load();
+  info.shed = shed_.load();
+  const std::uint64_t now_ns = obs::TraceNowNs();
+  info.snapshot_age_ms = now_ns > served->published_ns
+                             ? (now_ns - served->published_ns) / 1'000'000
+                             : 0;
   return info;
 }
 
@@ -156,6 +168,21 @@ void QueryServer::Start() {
     // disk now"; only a later republish triggers a swap.
     last_stamp_ = StampOf(options_.watch_path);
   }
+  // Expose live saturation + the request-log ring through the process
+  // StatsServer (if one is running): /healthz gains a "serve" section and
+  // /debug/requests serves the wide-event ring. The hooks read atomics /
+  // take the log's own lock, so any StatsServer thread may call them.
+  obs::SetServeStatusProvider([this] {
+    obs::ServeStatus status;
+    status.valid = true;
+    status.queue_depth_pairs = queued_pairs_.load();
+    status.shed = shed_.load();
+    const ServerInfo info = InfoSnapshot();
+    status.snapshot_age_seconds =
+        static_cast<double>(info.snapshot_age_ms) / 1'000.0;
+    return status;
+  });
+  obs::SetDebugRequestsProvider([this] { return request_log_.RingJson(); });
   // release: publishes port_ to threads observing Running() == true.
   running_.store(true, std::memory_order_release);
   loop_ = std::thread([this, fd = listen_fd_] { EventLoop(fd); });
@@ -170,6 +197,12 @@ void QueryServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     return;
   }
+  // Unhook the StatsServer providers. The hooks only read atomics and
+  // request_log_ (which live until ~QueryServer), so a scrape that copied
+  // a hook just before this clear still runs safely; after the clear no
+  // new scrape sees them.
+  obs::SetServeStatusProvider(nullptr);
+  obs::SetDebugRequestsProvider(nullptr);
   stop_cv_.NotifyAll();  // wake the watcher's poll sleep
   std::thread loop;
   std::thread watcher;
@@ -255,6 +288,7 @@ void QueryServer::AcceptReady(
     }
     auto conn = std::make_unique<Connection>();
     conn->fd = client;
+    conn->id = ++next_connection_id_;
     conn->last_active_ns = obs::TraceNowNs();
     conns.push_back(std::move(conn));
     accepted_.fetch_add(1);
@@ -295,6 +329,12 @@ void QueryServer::ReadFrom(Connection& conn,
         Metrics().requests.Add(1);
         Metrics().pairs.Add(request.pairs.size());
       }
+      // Every request carries a trace id from here on: the client's
+      // (already sanitized by the decoder) or a server-minted "srv-N" —
+      // minted before the shed check so even a SHED response is traceable.
+      if (request.trace_id.empty()) {
+        request.trace_id = "srv-" + std::to_string(++next_server_trace_);
+      }
       // Admission control: over-budget requests get an explicit SHED —
       // the caller learns immediately instead of waiting in an unbounded
       // queue. A single request larger than the budget always sheds.
@@ -304,21 +344,36 @@ void QueryServer::ReadFrom(Connection& conn,
         if (obs::MetricsEnabled()) {
           Metrics().shed.Add(1);
         }
-        EnqueueResponse(conn, EncodeStatusResponse(ResponseStatus::kShed));
+        RequestRecord record;
+        record.mono_ns = now_ns;
+        record.trace_id = request.trace_id;
+        record.connection = conn.id;
+        record.pairs = request.pairs.size();
+        record.status = "shed";
+        request_log_.Record(std::move(record));
+        EnqueueResponse(conn, EncodeStatusResponse(ResponseStatus::kShed,
+                                                   request.trace_id));
         FlushTo(conn, now_ns);
         continue;
       }
       loop_queued_pairs_ += request.pairs.size();
-      pending.push_back(
-          PendingRequest{&conn, now_ns, std::move(request.pairs)});
+      queued_pairs_.store(loop_queued_pairs_);
+      pending.push_back(PendingRequest{&conn, now_ns, std::move(request.pairs),
+                                       std::move(request.trace_id)});
     }
   } catch (const std::exception&) {
     // A malformed frame loses the framing for good: answer BAD_REQUEST
-    // and close once the answer drains.
+    // and close once the answer drains. No trace id survives a broken
+    // frame, so the record carries the connection id only.
     bad_requests_.fetch_add(1);
     if (obs::MetricsEnabled()) {
       Metrics().bad_requests.Add(1);
     }
+    RequestRecord record;
+    record.mono_ns = now_ns;
+    record.connection = conn.id;
+    record.status = "bad_request";
+    request_log_.Record(std::move(record));
     EnqueueResponse(conn, EncodeStatusResponse(ResponseStatus::kBadRequest));
     conn.closing = true;
     FlushTo(conn, now_ns);
@@ -327,6 +382,7 @@ void QueryServer::ReadFrom(Connection& conn,
 
 void QueryServer::DrainPending(std::vector<PendingRequest>& pending) {
   loop_queued_pairs_ = 0;
+  queued_pairs_.store(0);
   if (pending.empty()) {
     if (obs::MetricsEnabled()) {
       Metrics().queue_depth.Set(0.0);
@@ -358,8 +414,16 @@ void QueryServer::DrainPending(std::vector<PendingRequest>& pending) {
       if (obs::MetricsEnabled()) {
         Metrics().bad_requests.Add(1);
       }
+      RequestRecord record;
+      record.mono_ns = request.admitted_ns;
+      record.trace_id = request.trace_id;
+      record.connection = request.conn->id;
+      record.pairs = request.pairs.size();
+      record.status = "bad_request";
+      request_log_.Record(std::move(record));
       EnqueueResponse(*request.conn,
-                      EncodeStatusResponse(ResponseStatus::kBadRequest));
+                      EncodeStatusResponse(ResponseStatus::kBadRequest,
+                                           request.trace_id));
       continue;
     }
     valid[i] = true;
@@ -369,16 +433,27 @@ void QueryServer::DrainPending(std::vector<PendingRequest>& pending) {
     Metrics().queue_depth.Set(static_cast<double>(total));
   }
 
+  // Concatenate the batch and remember which slice each request owns, so
+  // the engine can attribute per-shard slow-query records to the wire
+  // trace id. The string_views point into `pending`, which outlives the
+  // batch call.
   std::vector<query::QueryPair> all;
   all.reserve(total);
+  std::vector<query::BatchTraceSlice> traces;
+  traces.reserve(pending.size());
   for (std::size_t i = 0; i < pending.size(); ++i) {
     if (valid[i]) {
+      const std::size_t begin = all.size();
       all.insert(all.end(), pending[i].pairs.begin(), pending[i].pairs.end());
+      traces.push_back(
+          query::BatchTraceSlice{begin, all.size(), pending[i].trace_id});
     }
   }
   std::vector<graph::Distance> out(all.size());
+  const std::uint64_t batch_start_ns = obs::TraceNowNs();
+  std::uint64_t batch_context = 0;
   if (!all.empty()) {
-    served->engine.QueryBatch(all, out);
+    batch_context = served->engine.QueryBatchTraced(all, out, traces);
   }
 
   const std::uint64_t done_ns = obs::TraceNowNs();
@@ -395,10 +470,21 @@ void QueryServer::DrainPending(std::vector<PendingRequest>& pending) {
     answered_pairs_.fetch_add(count);
     if (obs::MetricsEnabled()) {
       Metrics().request_latency.Record(done_ns - request.admitted_ns);
+      Metrics().queue_wait.Record(batch_start_ns - request.admitted_ns);
     }
-    EnqueueResponse(
-        *request.conn,
-        EncodeOkResponse(std::span(out).subspan(offset, count)));
+    RequestRecord record;
+    record.mono_ns = request.admitted_ns;
+    record.trace_id = request.trace_id;
+    record.connection = request.conn->id;
+    record.batch_context = batch_context;
+    record.queue_wait_ns = batch_start_ns - request.admitted_ns;
+    record.batch_ns = done_ns - batch_start_ns;
+    record.latency_ns = done_ns - request.admitted_ns;
+    record.pairs = count;
+    request_log_.Record(std::move(record));
+    EnqueueResponse(*request.conn,
+                    EncodeOkResponse(std::span(out).subspan(offset, count),
+                                     request.trace_id));
     FlushTo(*request.conn, done_ns);
     offset += count;
   }
@@ -542,6 +628,7 @@ void QueryServer::TryReload() {
     const pll::BuildManifest manifest = artifact.Manifest();
     auto next = std::make_shared<Served>(std::move(artifact.index),
                                          engine_options_);
+    next->published_ns = obs::TraceNowNs();
     {
       util::MutexLock lock(mutex_);
       // RCU-style flip: in-flight batches keep their shared_ptr snapshot

@@ -24,6 +24,14 @@
 //     annotated util::Mutex. In-flight batches finish on the old engine
 //     snapshot; queries never fail across a swap.
 //
+//   * Observability: every DISTANCE_QUERY carries a wire-level trace id
+//     (client-supplied, or server-minted "srv-N") that is echoed on its
+//     response — OK and SHED alike — threaded into the engine's
+//     slow-query log, and recorded with queue wait / batch id / latency
+//     in a wide-event RequestLog exposed at /debug/requests. The INFO
+//     frame and /healthz report live saturation (queue depth, cumulative
+//     sheds, served-snapshot age).
+//
 // Metrics land under "server.*" when obs metrics are enabled (schema in
 // EXPERIMENTS.md); Stats() exposes the same counts unconditionally for
 // tests and the CLI.
@@ -39,6 +47,7 @@
 #include "pll/index.hpp"
 #include "query/query_engine.hpp"
 #include "serve/frame.hpp"
+#include "serve/request_log.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -61,6 +70,14 @@ struct ServeOptions {
   // engine when a different complete build appears under it.
   std::string watch_path;
   int watch_poll_ms = 200;
+  // When non-null, every served pair is timed into this slow-query log
+  // (with the request's wire-level trace id attached). Must outlive the
+  // server; hot-swapped engines share it.
+  query::SlowQueryLog* slow_log = nullptr;
+  // Wide-event request log configuration. The in-memory ring (and the
+  // /debug/requests endpoint backed by it) is always on; `path` adds the
+  // on-disk JSONL stream.
+  RequestLogOptions request_log;
 };
 
 // Monotonic counts since Start(); readable at any time from any thread.
@@ -102,6 +119,9 @@ class QueryServer {
 
   [[nodiscard]] ServeStats Stats() const;
 
+  // The wide-event request log (tests and the CLI flush hook read it).
+  [[nodiscard]] RequestLog& RequestLogRef() { return request_log_; }
+
  private:
   // The RCU-style unit of hot swap: an index and the engine built over
   // it, flipped together so a batch never outlives its labels. The
@@ -109,6 +129,7 @@ class QueryServer {
   struct Served {
     pll::Index index;
     query::QueryEngine engine;
+    std::uint64_t published_ns = 0;  // when this snapshot went live
     Served(pll::Index idx, const query::QueryEngineOptions& engine_options)
         : index(std::move(idx)), engine(index, engine_options) {}
   };
@@ -175,10 +196,22 @@ class QueryServer {
   std::atomic<std::uint64_t> hot_swaps_{0};
   std::atomic<std::uint64_t> reload_errors_{0};
 
+  // Mirror of loop_queued_pairs_ readable off the event-loop thread (the
+  // INFO frame is answered inline, but /healthz reads from the
+  // StatsServer's worker). Plain (seq_cst) atomic, like the stats above.
+  std::atomic<std::uint64_t> queued_pairs_{0};
+
+  RequestLog request_log_;
+
   std::vector<char> read_buf_;  // event-loop scratch, sized once
   // Pairs admitted but not yet drained this coalescing cycle; event-loop
   // thread only (the admission decision and the drain share that thread).
   std::size_t loop_queued_pairs_ = 0;
+  // Event-loop-thread-only sequence numbers: server-minted trace ids
+  // ("srv-N") for clients that sent none, and per-connection ids for the
+  // request log.
+  std::uint64_t next_server_trace_ = 0;
+  std::uint64_t next_connection_id_ = 0;
 };
 
 }  // namespace parapll::serve

@@ -442,13 +442,97 @@ TEST(CorruptServeFrame, EveryResponseTruncationThrows) {
   }
 }
 
-TEST(CorruptServeFrame, TrailingBytesThrow) {
-  EXPECT_THROW(
-      (void)serve::DecodeRequestPayload(DistanceRequestPayload() + '\0'),
-      std::runtime_error);
-  EXPECT_THROW(
-      (void)serve::DecodeResponsePayload(OkResponsePayload() + '\0'),
-      std::runtime_error);
+// One trailing byte is the 0.8 trace block's length prefix: a lone NUL is
+// a valid *empty* trace block (equivalent to no block at all). Anything
+// after the body that is not a well-formed trace block still throws.
+TEST(CorruptServeFrame, EmptyTraceBlockDecodesAsAbsent) {
+  const serve::Request request =
+      serve::DecodeRequestPayload(DistanceRequestPayload() + '\0');
+  EXPECT_EQ(request.pairs.size(), 3u);
+  EXPECT_TRUE(request.trace_id.empty());
+  const serve::Response response =
+      serve::DecodeResponsePayload(OkResponsePayload() + '\0');
+  EXPECT_EQ(response.distances.size(), 3u);
+  EXPECT_TRUE(response.trace_id.empty());
+}
+
+TEST(CorruptServeFrame, TraceBlockRoundTrips) {
+  const std::vector<query::QueryPair> pairs = {{0, 1}, {2, 3}};
+  const serve::Request request = serve::DecodeRequestPayload(
+      serve::EncodeDistanceRequest(pairs, "req-42/a.b:c").substr(4));
+  EXPECT_EQ(request.trace_id, "req-42/a.b:c");
+  ASSERT_EQ(request.pairs.size(), 2u);
+
+  const std::vector<graph::Distance> distances = {7};
+  const serve::Response ok = serve::DecodeResponsePayload(
+      serve::EncodeOkResponse(distances, "req-42").substr(4));
+  EXPECT_EQ(ok.trace_id, "req-42");
+  ASSERT_EQ(ok.distances.size(), 1u);
+
+  const serve::Response shed = serve::DecodeResponsePayload(
+      serve::EncodeStatusResponse(serve::ResponseStatus::kShed, "req-42")
+          .substr(4));
+  EXPECT_EQ(shed.status, serve::ResponseStatus::kShed);
+  EXPECT_EQ(shed.trace_id, "req-42");
+}
+
+TEST(CorruptServeFrame, TraceLengthMismatchThrows) {
+  // Declared longer than delivered, and shorter than delivered: both are
+  // framing corruption, never a silent re-interpretation.
+  const std::string request = DistanceRequestPayload();
+  EXPECT_THROW((void)serve::DecodeRequestPayload(request + '\x05' + "ab"),
+               std::runtime_error);
+  EXPECT_THROW((void)serve::DecodeRequestPayload(request + '\x01' + "ab"),
+               std::runtime_error);
+  const std::string response = OkResponsePayload();
+  EXPECT_THROW((void)serve::DecodeResponsePayload(response + '\x05' + "ab"),
+               std::runtime_error);
+  EXPECT_THROW((void)serve::DecodeResponsePayload(response + '\x01' + "ab"),
+               std::runtime_error);
+}
+
+// A hostile trace length is rejected at the cap — even when that many
+// bytes really follow, so the check fires before any use of them.
+TEST(CorruptServeFrame, OversizedTraceLengthThrows) {
+  const std::string oversized(serve::kMaxTraceIdBytes + 1, 'a');
+  std::string payload = DistanceRequestPayload();
+  payload.push_back(static_cast<char>(oversized.size()));
+  payload += oversized;
+  EXPECT_THROW((void)serve::DecodeRequestPayload(payload),
+               std::runtime_error);
+}
+
+// Trace bytes are untrusted wire input destined for log files: anything
+// outside [A-Za-z0-9._:/-] must come out as '_' (no quotes, control
+// bytes, or newlines can reach a JSONL record or terminal).
+TEST(CorruptServeFrame, HostileTraceBytesAreSanitized) {
+  const std::string hostile = "a\"b\nc\x01" "d e\\f";
+  std::string payload = DistanceRequestPayload();
+  payload.push_back(static_cast<char>(hostile.size()));
+  payload += hostile;
+  const serve::Request request = serve::DecodeRequestPayload(payload);
+  EXPECT_EQ(request.trace_id, "a_b_c_d_e_f");
+}
+
+// Truncating a traced request must never parse as a *different* valid
+// request — except at exactly the pre-trace boundary, where the bytes
+// are indistinguishable from a legitimate 0.7 frame without a trace.
+TEST(CorruptServeFrame, TracedRequestTruncationThrows) {
+  const std::vector<query::QueryPair> pairs = {{0, 1}, {2, 3}, {4, 4}};
+  const std::string payload =
+      serve::EncodeDistanceRequest(pairs, "trace-xyz").substr(4);
+  const std::size_t base = payload.size() - 1 - std::string("trace-xyz").size();
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    if (len == base) {
+      const serve::Request request =
+          serve::DecodeRequestPayload(payload.substr(0, len));
+      EXPECT_TRUE(request.trace_id.empty());
+      continue;
+    }
+    EXPECT_THROW((void)serve::DecodeRequestPayload(payload.substr(0, len)),
+                 std::runtime_error)
+        << "traced request prefix of " << len << " bytes parsed";
+  }
 }
 
 TEST(CorruptServeFrame, BadMagicThrows) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <span>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -87,13 +88,31 @@ TEST(ServeFrame, ResponsesRoundTrip) {
             ResponseStatus::kShed);
 
   const ServerInfo info{.num_vertices = 9, .fingerprint = 0xfeed,
-                        .hot_swaps = 2};
+                        .hot_swaps = 2, .queued_pairs = 17, .shed = 5,
+                        .snapshot_age_ms = 1234};
   frame = EncodeInfoResponse(info);
   const Response decoded = DecodeResponsePayload(frame.substr(4));
   EXPECT_EQ(decoded.status, ResponseStatus::kInfo);
   EXPECT_EQ(decoded.info.num_vertices, 9u);
   EXPECT_EQ(decoded.info.fingerprint, 0xfeedu);
   EXPECT_EQ(decoded.info.hot_swaps, 2u);
+  EXPECT_EQ(decoded.info.queued_pairs, 17u);
+  EXPECT_EQ(decoded.info.shed, 5u);
+  EXPECT_EQ(decoded.info.snapshot_age_ms, 1234u);
+}
+
+// Old clients send 25-byte INFO bodies (no saturation fields); the
+// decoder must still accept them with the new fields zeroed.
+TEST(ServeFrame, LegacyInfoBodyStillDecodes) {
+  const ServerInfo info{.num_vertices = 9, .fingerprint = 0xfeed,
+                        .hot_swaps = 2, .queued_pairs = 17, .shed = 5,
+                        .snapshot_age_ms = 1234};
+  const std::string payload = EncodeInfoResponse(info).substr(4);
+  const Response decoded = DecodeResponsePayload(payload.substr(0, 4 + 1 + 4 + 8 + 8));
+  EXPECT_EQ(decoded.info.num_vertices, 9u);
+  EXPECT_EQ(decoded.info.hot_swaps, 2u);
+  EXPECT_EQ(decoded.info.queued_pairs, 0u);
+  EXPECT_EQ(decoded.info.shed, 0u);
 }
 
 // A socket read loop hands FrameReader arbitrary byte slices; feeding one
@@ -245,6 +264,100 @@ TEST(QueryServerTest, InfoReportsServedIndex) {
   const ServerInfo info = client.Info();
   EXPECT_EQ(info.num_vertices, g.NumVertices());
   EXPECT_EQ(info.hot_swaps, 0u);
+  EXPECT_EQ(info.queued_pairs, 0u);
+  EXPECT_EQ(info.shed, 0u);
+  server.Stop();
+}
+
+// The tracing tentpole, end to end: a client-supplied trace id must come
+// back on the response, land in the wide-event request log with the
+// coalesced batch's context id, and reach the engine's slow-query log —
+// one id joining all three sinks for the same request.
+TEST(QueryServerTest, ClientTraceIdJoinsResponseRequestLogAndSlowLog) {
+  const Graph g = graph::ErdosRenyi(60, 150, {WeightModel::kUniform, 9}, 3);
+  std::ostringstream slow_out;
+  query::SlowQueryLog slow_log(slow_out, {.threshold_ns = 0});
+
+  ServeOptions options;
+  options.slow_log = &slow_log;
+  options.request_log.sample_every = 1;  // keep every OK request
+  QueryServer server(BuildTestIndex(g), options);
+  server.Start();
+  ServeClient client;
+  client.Connect(server.Port());
+
+  const std::vector<QueryPair> pairs = {{1, 2}, {3, 4}};
+  const Response response = client.Distance(pairs, "cli-abc.1");
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.trace_id, "cli-abc.1");
+
+  const std::vector<RequestRecord> ring =
+      server.RequestLogRef().RingSnapshot();
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0].trace_id, "cli-abc.1");
+  EXPECT_STREQ(ring[0].status, "ok");
+  EXPECT_EQ(ring[0].pairs, 2u);
+  EXPECT_NE(ring[0].batch_context, 0u);
+  EXPECT_GE(ring[0].latency_ns, ring[0].batch_ns);
+  EXPECT_NE(ring[0].connection, 0u);
+
+  slow_log.Flush();
+  EXPECT_NE(slow_out.str().find("\"trace_id\":\"cli-abc.1\""),
+            std::string::npos)
+      << slow_out.str();
+  server.Stop();
+}
+
+// A client that sends no trace block gets a server-minted "srv-N" id —
+// responses stay attributable even for legacy clients.
+TEST(QueryServerTest, ServerMintsTraceIdsForLegacyClients) {
+  const Graph g = graph::ErdosRenyi(60, 150, {WeightModel::kUniform, 9}, 3);
+  ServeOptions options;
+  options.request_log.sample_every = 1;
+  QueryServer server(BuildTestIndex(g), options);
+  server.Start();
+  ServeClient client;
+  client.Connect(server.Port());
+
+  const std::vector<QueryPair> pairs = {{1, 2}};
+  const Response first = client.Distance(pairs);  // no trace block
+  ASSERT_EQ(first.status, ResponseStatus::kOk);
+  EXPECT_EQ(first.trace_id.rfind("srv-", 0), 0u) << first.trace_id;
+  const Response second = client.Distance(pairs);
+  EXPECT_NE(second.trace_id, first.trace_id);  // unique per request
+
+  const std::vector<RequestRecord> ring =
+      server.RequestLogRef().RingSnapshot();
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring[0].trace_id, first.trace_id);
+  EXPECT_EQ(ring[1].trace_id, second.trace_id);
+  server.Stop();
+}
+
+// SHED responses echo the trace id too (an unattributable rejection is
+// undebuggable), and the shed lands in the request log with the id.
+TEST(QueryServerTest, ShedEchoesTraceIdAndLogsIt) {
+  const Graph g = graph::ErdosRenyi(60, 150, {WeightModel::kUniform, 9}, 3);
+  ServeOptions options;
+  options.max_queued_pairs = 4;
+  QueryServer server(BuildTestIndex(g), options);
+  server.Start();
+  ServeClient client;
+  client.Connect(server.Port());
+
+  const auto pairs = RandomPairs(g.NumVertices(), 16, 5);  // over budget
+  const Response response = client.Distance(pairs, "overload-probe");
+  ASSERT_EQ(response.status, ResponseStatus::kShed);
+  EXPECT_EQ(response.trace_id, "overload-probe");
+
+  const std::vector<RequestRecord> ring =
+      server.RequestLogRef().RingSnapshot();
+  ASSERT_EQ(ring.size(), 1u);  // errors always kept, no sampling needed
+  EXPECT_EQ(ring[0].trace_id, "overload-probe");
+  EXPECT_STREQ(ring[0].status, "shed");
+
+  // INFO now carries the cumulative shed count.
+  EXPECT_EQ(client.Info().shed, 1u);
   server.Stop();
 }
 

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -15,6 +17,7 @@
 #include "obs/expose.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/rolling.hpp"
 #include "obs/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -42,6 +45,107 @@ std::vector<std::string> ReadLines(const std::string& path) {
     }
   }
   return lines;
+}
+
+// --- rolling-window views -------------------------------------------------
+
+TEST(RollingWindowTest, WindowedViewsDecayAsIntervalsExpire) {
+  Histogram& h = Registry::Global().GetHistogram("test.window.hist");
+  h.Reset();
+  Counter& c = Registry::Global().GetCounter("test.window.count");
+  c.Reset();
+  RollingWindow window({.interval_ns = 1000, .intervals = 2});
+  window.TrackHistogram("test.window.hist");
+  window.TrackCounter("test.window.count");
+  window.Advance(1000);  // anchor; baselines were captured at Track*()
+
+  h.Record(100);
+  c.Add(5);
+  // The still-open interval contributes live.
+  EXPECT_EQ(window.WindowedCounter("test.window.count"), 5u);
+  EXPECT_EQ(window.WindowedHistogram("test.window.hist").count, 1u);
+
+  window.Advance(2000);  // closes slot 1
+  h.Record(200);
+  c.Add(3);
+  window.Advance(3000);  // closes slot 2
+  EXPECT_EQ(window.WindowedCounter("test.window.count"), 8u);
+  EXPECT_EQ(window.WindowedHistogram("test.window.hist").count, 2u);
+
+  // Far in the future, both slots have fallen out of the ring: the
+  // windowed views go to zero while the cumulative registry metrics keep
+  // their totals.
+  window.Advance(10'000);
+  EXPECT_EQ(window.WindowedCounter("test.window.count"), 0u);
+  EXPECT_EQ(window.WindowedHistogram("test.window.hist").count, 0u);
+  EXPECT_EQ(h.Snapshot().count, 2u);
+  EXPECT_EQ(c.Value(), 8u);
+}
+
+TEST(RollingWindowTest, RatePerSecondUsesCoveredWindowSpan) {
+  Counter& c = Registry::Global().GetCounter("test.window.rate");
+  c.Reset();
+  RollingWindow window({.interval_ns = 1'000'000'000, .intervals = 60});
+  window.TrackCounter("test.window.rate");
+  const std::uint64_t t0 = 1'000'000'000;
+  window.Advance(t0);
+  c.Add(100);
+  window.Advance(t0 + 2'000'000'000);  // two 1 s slots closed
+  EXPECT_EQ(window.WindowedCounter("test.window.rate"), 100u);
+  EXPECT_DOUBLE_EQ(window.WindowedSeconds(t0 + 2'000'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(
+      window.RatePerSecond("test.window.rate", t0 + 2'000'000'000), 50.0);
+}
+
+TEST(HistogramSnapshotTest, FractionAboveInterpolatesInsideBucket) {
+  Histogram& h = Registry::Global().GetHistogram("test.window.frac");
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.Snapshot().FractionAbove(0), 0.0);  // empty
+  for (int i = 0; i < 4; ++i) {
+    h.Record(8);  // bucket [8, 15]
+  }
+  const HistogramSnapshot snapshot = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.FractionAbove(7), 1.0);   // below the bucket
+  EXPECT_DOUBLE_EQ(snapshot.FractionAbove(15), 0.0);  // at the bucket max
+  // Threshold inside the bucket: linear interpolation over [8, 15].
+  EXPECT_DOUBLE_EQ(snapshot.FractionAbove(11), 0.5);
+}
+
+TEST(ServeSloGaugesTest, CollectComputesWindowedStatsAndBurnRate) {
+  Histogram& lat =
+      Registry::Global().GetHistogram("server.request_latency_ns");
+  lat.Reset();
+  Counter& req = Registry::Global().GetCounter("server.requests");
+  req.Reset();
+  Counter& shed = Registry::Global().GetCounter("server.shed");
+  shed.Reset();
+
+  ServeSloOptions slo;
+  slo.slo_ms = 1.0;
+  slo.slo_target = 0.99;
+  ServeSloGauges gauges(slo);
+  const std::uint64_t t0 = TraceNowNs();
+  gauges.Collect(t0);  // anchor the window
+
+  for (int i = 0; i < 3; ++i) {
+    lat.Record(100'000);  // 0.1 ms: meets the objective
+  }
+  lat.Record(8'000'000);  // 8 ms: violates it
+  req.Add(4);
+  shed.Add(1);
+  const WindowedServeStats stats = gauges.Collect(t0 + 500'000'000);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_DOUBLE_EQ(stats.shed_rate, 0.25);
+  EXPECT_DOUBLE_EQ(stats.slo_violation_rate, 0.25);
+  // 25% violations against a 1% error budget burn at 25x.
+  EXPECT_NEAR(stats.slo_burn_rate, 25.0, 1e-9);
+  EXPECT_GT(stats.p99_ms, stats.p50_ms);
+  // Collect() published the gauges.
+  EXPECT_DOUBLE_EQ(
+      Registry::Global().GetGauge("server.window.shed_rate").Value(), 0.25);
+  EXPECT_NEAR(
+      Registry::Global().GetGauge("server.window.slo_burn_rate").Value(),
+      25.0, 1e-9);
 }
 
 TEST(ProcessStatsTest, ReadsLiveProcess) {
@@ -375,6 +479,77 @@ TEST(StatsServerTest, MetricsScrapeCollectsProbes) {
   server.Stop();
 }
 
+// First "name value" sample line for a metric in Prometheus exposition
+// text; NaN when the metric is absent.
+double ParseMetricValue(const std::string& exposition,
+                        const std::string& name) {
+  std::istringstream in(exposition);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::stod(line.substr(name.size() + 1));
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+// Acceptance criterion for the rolling-window tentpole: /metrics exposes
+// windowed p99/qps/shed-rate/burn-rate gauges, and their values move
+// between scrapes as traffic flows (each scrape's probe advances the
+// window).
+TEST(StatsServerTest, WindowedServeGaugesRenderAndMoveAcrossScrapes) {
+  Histogram& lat =
+      Registry::Global().GetHistogram("server.request_latency_ns");
+  lat.Reset();
+  Counter& req = Registry::Global().GetCounter("server.requests");
+  req.Reset();
+  Counter& shed = Registry::Global().GetCounter("server.shed");
+  shed.Reset();
+
+  ServeSloOptions slo;
+  slo.window.interval_ns = 1'000'000;  // 1 ms slots keep the test fast
+  slo.window.intervals = 2000;
+  slo.slo_ms = 1.0;
+  ServeSloGauges gauges(slo);
+
+  StatsServer server;
+  server.Start();
+
+  for (int i = 0; i < 4; ++i) {
+    lat.Record(100'000);
+  }
+  lat.Record(8'000'000);  // one SLO violation
+  req.Add(5);
+  shed.Add(5);  // shed_rate 1.0 on the first scrape
+  const std::string first = HttpGet(server.Port(), "/metrics");
+  for (const char* name :
+       {"parapll_server_window_p50_ms", "parapll_server_window_p99_ms",
+        "parapll_server_window_qps", "parapll_server_window_shed_rate",
+        "parapll_server_window_slo_violation_rate",
+        "parapll_server_window_slo_burn_rate"}) {
+    EXPECT_FALSE(std::isnan(ParseMetricValue(first, name)))
+        << name << " missing from exposition:\n" << first;
+  }
+  EXPECT_DOUBLE_EQ(ParseMetricValue(first, "parapll_server_window_shed_rate"),
+                   1.0);
+  EXPECT_GT(
+      ParseMetricValue(first, "parapll_server_window_slo_burn_rate"), 1.0);
+
+  // More traffic, no sheds: the windowed rates must move by the next
+  // scrape (cumulative gauges would not).
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  for (int i = 0; i < 45; ++i) {
+    lat.Record(100'000);
+  }
+  req.Add(45);
+  const std::string second = HttpGet(server.Port(), "/metrics");
+  EXPECT_LT(ParseMetricValue(second, "parapll_server_window_shed_rate"),
+            ParseMetricValue(first, "parapll_server_window_shed_rate"));
+  EXPECT_NE(ParseMetricValue(second, "parapll_server_window_qps"),
+            ParseMetricValue(first, "parapll_server_window_qps"));
+  server.Stop();
+}
+
 TEST(StatsServerTest, HealthzReportsJsonWithIndexInfo) {
   HealthInfo info;
   info.index_fingerprint = 123456789;
@@ -406,6 +581,43 @@ TEST(StatsServerTest, HealthzReportsJsonWithIndexInfo) {
 // Satellite (c): scrapes must stay well-formed while the registry is
 // being mutated — new metrics appearing mid-scrape, counters bumping,
 // exemplar slots being rewritten.
+// The daemon registers provider hooks at Start(); without one,
+// /debug/requests is an honest 404 and /healthz has no "serve" section.
+TEST(StatsServerTest, ServeProvidersDriveDebugRequestsAndHealthz) {
+  StatsServer server;
+  server.Start();
+  const std::string before = HttpGet(server.Port(), "/debug/requests");
+  EXPECT_NE(before.find("HTTP/1.1 404"), std::string::npos) << before;
+  EXPECT_EQ(HttpGet(server.Port(), "/healthz").find("\"serve\""),
+            std::string::npos);
+
+  SetDebugRequestsProvider(
+      [] { return std::string("{\"observed\":3,\"records\":[]}\n"); });
+  SetServeStatusProvider([] {
+    ServeStatus status;
+    status.valid = true;
+    status.queue_depth_pairs = 12;
+    status.shed = 7;
+    status.snapshot_age_seconds = 1.5;
+    return status;
+  });
+  const std::string requests = HttpGet(server.Port(), "/debug/requests");
+  EXPECT_NE(requests.find("HTTP/1.1 200 OK"), std::string::npos) << requests;
+  EXPECT_NE(requests.find("application/json"), std::string::npos);
+  EXPECT_NE(requests.find("\"observed\":3"), std::string::npos);
+  const std::string health = HttpGet(server.Port(), "/healthz");
+  EXPECT_NE(health.find("\"serve\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"queue_depth_pairs\":12"), std::string::npos);
+  EXPECT_NE(health.find("\"shed\":7"), std::string::npos);
+  EXPECT_NE(health.find("\"snapshot_age_seconds\":1.5"), std::string::npos);
+
+  SetDebugRequestsProvider(nullptr);
+  SetServeStatusProvider(nullptr);
+  EXPECT_NE(HttpGet(server.Port(), "/debug/requests").find("HTTP/1.1 404"),
+            std::string::npos);
+  server.Stop();
+}
+
 TEST(StatsServerTest, ConcurrentScrapesRaceRegistryMutation) {
   StatsServer server;
   server.Start();

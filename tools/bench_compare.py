@@ -21,6 +21,10 @@ Gated metrics (direction-aware):
     per_call_query_mqps      higher is better
     serve_closed_qps         higher is better (skipped when the baseline
                              predates the serving daemon)
+    serve_closed_p99_ms      lower is better (skipped when the baseline
+                             predates the latency column; gated loosely —
+                             tail latency on shared runners is the
+                             noisiest number here)
 
 Decision rule, per metric: take the median across --current runs, compute
 the regression percentage against the baseline, and fail only when it
@@ -56,6 +60,7 @@ GATED_METRICS = (
     ("batched_query_mqps", True, "threshold_query_pct"),
     ("per_call_query_mqps", True, "threshold_query_pct"),
     ("serve_closed_qps", True, "threshold_query_pct"),
+    ("serve_closed_p99_ms", False, "threshold_latency_pct"),
 )
 
 
@@ -151,12 +156,17 @@ def print_trajectory(root):
 
 def self_test():
     """The gate gates: no-change passes, 2x regressions fail."""
-    thresholds = {"threshold_build_pct": 40.0, "threshold_query_pct": 35.0}
+    thresholds = {
+        "threshold_build_pct": 40.0,
+        "threshold_query_pct": 35.0,
+        "threshold_latency_pct": 75.0,
+    }
     base = {
         "parallel_build_seconds": 10.0,
         "batched_query_mqps": 5.0,
         "per_call_query_mqps": 3.0,
         "serve_closed_qps": 50000.0,
+        "serve_closed_p99_ms": 2.0,
     }
 
     def gate(current_overrides, runs=1):
@@ -185,6 +195,21 @@ def self_test():
             "2x serve-throughput regression fails",
             gate({"serve_closed_qps": 25000.0}),
             ["serve_closed_qps"],
+        ),
+        (
+            "2x serve-p99 regression fails",
+            gate({"serve_closed_p99_ms": 4.0}),
+            ["serve_closed_p99_ms"],
+        ),
+        (
+            "serve-p99 regression within threshold passes",
+            gate({"serve_closed_p99_ms": 3.0}),
+            [],
+        ),
+        (
+            "serve-p99 improvement passes",
+            gate({"serve_closed_p99_ms": 1.0}),
+            [],
         ),
         ("improvement passes", gate({"parallel_build_seconds": 5.0}), []),
         (
@@ -276,6 +301,12 @@ def main():
         help="max tolerated Mq/s regression (default %(default)s%%)",
     )
     parser.add_argument(
+        "--threshold-latency-pct",
+        type=float,
+        default=75.0,
+        help="max tolerated serve-p99 regression (default %(default)s%%)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="verify the gate itself, then exit",
@@ -303,6 +334,7 @@ def main():
     thresholds = {
         "threshold_build_pct": args.threshold_build_pct,
         "threshold_query_pct": args.threshold_query_pct,
+        "threshold_latency_pct": args.threshold_latency_pct,
     }
     failures, rows = compare(baseline, runs, thresholds)
     print_table(rows, os.path.basename(baseline_path), len(runs))

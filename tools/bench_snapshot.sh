@@ -89,8 +89,9 @@ with open(sbench_path) as fh:
     sbench = fh.read()
 serve_qps = re.search(r"throughput: ([0-9.]+) req/s", sbench)
 serve_shed = re.search(r"shed rate ([0-9.]+)%", sbench)
-if serve_qps is None or serve_shed is None:
-    sys.exit("serve-bench output missing throughput/shed lines")
+serve_p99 = re.search(r"latency:\s+p50 [0-9.]+us\s+p99 ([0-9.]+)us", sbench)
+if serve_qps is None or serve_shed is None or serve_p99 is None:
+    sys.exit("serve-bench output missing throughput/shed/latency lines")
 if float(serve_shed.group(1)) != 0.0:
     sys.exit("serve-bench shed traffic in an unloaded capacity run")
 
@@ -111,6 +112,7 @@ snapshot = {
     "batched_query_mqps": float(batched.group(1)),
     "per_call_query_mqps": float(per_call.group(1)),
     "serve_closed_qps": float(serve_qps.group(1)),
+    "serve_closed_p99_ms": float(serve_p99.group(1)) / 1000.0,
 }
 with open(out_path, "w") as fh:
     json.dump(snapshot, fh, indent=2)

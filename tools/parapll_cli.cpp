@@ -28,6 +28,7 @@
 #include "build/checkpoint.hpp"
 #include "core/parapll.hpp"
 #include "obs/profiler.hpp"
+#include "obs/rolling.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
@@ -73,9 +74,16 @@ int Usage() {
       "           [--port-file F]   TCP daemon answering DISTANCE_QUERY\n"
       "           frames (see EXPERIMENTS.md); --watch hot-swaps the\n"
       "           engine when the index file is republished\n"
+      "           [--request-log FILE [--request-log-sample N]] wide-event\n"
+      "           JSONL, one record per request (tail-sampled); also at\n"
+      "           /debug/requests with --stats-port\n"
+      "           [--slo-ms MS] latency objective for the windowed\n"
+      "           server.window.* burn-rate gauges (default 50)\n"
       "  serve-bench --port N [--connections C] [--requests R]\n"
       "           [--pairs-per-request P] [--rate QPS --duration S]\n"
-      "           closed-/open-loop load generator: p50/p99/p999 + shed\n"
+      "           [--trace-prefix P] closed-/open-loop load generator:\n"
+      "           p50/p99/p999 + shed; requests carry trace ids\n"
+      "           \"P-w<conn>-r<k>\" (empty P = server-minted ids)\n"
       "observability (any command):\n"
       "  --metrics-json FILE   write a metrics snapshot (counters, gauges,\n"
       "                        histograms) as JSON on exit\n"
@@ -89,7 +97,8 @@ int Usage() {
       "  --profile-hz N        profiler sample rate (default 97)\n"
       "  --stats-port N        serve Prometheus /metrics and /healthz on\n"
       "                        127.0.0.1:N (0 = ephemeral, printed)\n"
-      "  --slow-query-log FILE   query-bench: JSONL of slow queries\n"
+      "  --slow-query-log FILE   query-bench/serve: JSONL of slow queries\n"
+      "                        (serve records carry the wire trace id)\n"
       "  --slow-query-threshold-us N   latency threshold (default 1000)\n"
       "  --slow-query-sample N   also record every Nth query (0 = off)\n",
       stderr);
@@ -394,6 +403,38 @@ int CmdServe(util::ArgParser& args) {
     options.watch_poll_ms = static_cast<int>(
         std::max<std::int64_t>(args.GetInt("watch-poll-ms"), 1));
   }
+
+  // One latency objective drives both tails: requests at/over --slo-ms
+  // are always kept by the wide-event log, and the same threshold feeds
+  // the slow-query log and the windowed burn-rate gauges.
+  const double slo_ms = std::max(args.GetDouble("slo-ms"), 0.0);
+  const auto slo_ns = static_cast<std::uint64_t>(slo_ms * 1e6);
+  options.request_log.path = args.GetString("request-log");
+  options.request_log.sample_every = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(args.GetInt("request-log-sample"), 0));
+  options.request_log.slow_threshold_ns = slo_ns;
+
+  std::unique_ptr<query::SlowQueryLog> slow_log;
+  const std::string slow_path = args.GetString("slow-query-log");
+  if (!slow_path.empty()) {
+    query::SlowQueryLogOptions slow_options;
+    slow_options.threshold_ns =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            args.GetInt("slow-query-threshold-us"), 0)) *
+        1000;
+    slow_options.sample_every = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(args.GetInt("slow-query-sample"), 0));
+    slow_log = std::make_unique<query::SlowQueryLog>(slow_path, slow_options);
+    options.slow_log = slow_log.get();
+  }
+
+  std::optional<obs::ServeSloGauges> slo_gauges;
+  if (obs::MetricsEnabled()) {
+    obs::ServeSloOptions slo_options;
+    slo_options.slo_ms = slo_ms;
+    slo_gauges.emplace(slo_options);
+  }
+
   serve::QueryServer server(std::move(artifact.index), options);
   server.Start();
   std::fprintf(stderr, "serving distance queries on 127.0.0.1:%u%s\n",
@@ -444,6 +485,7 @@ int CmdServeBench(util::ArgParser& args) {
   options.open_loop_qps = args.GetDouble("rate");
   options.duration_seconds = args.GetDouble("duration");
   options.seed = static_cast<std::uint64_t>(args.GetInt("seed"));
+  options.trace_prefix = args.GetString("trace-prefix");
   const serve::LoadGenReport report = serve::RunLoadGen(options);
   std::printf("server:     127.0.0.1:%lld (n=%u, fingerprint %llu, "
               "%llu hot swaps)\n",
@@ -506,11 +548,20 @@ int main(int argc, char** argv) {
       .Flag("max-queued-pairs", "65536",
             "serve: admission budget in pairs; over-budget requests SHED")
       .Flag("idle-timeout-ms", "30000", "serve: drop silent connections")
+      .Flag("request-log", "",
+            "serve: wide-event request JSONL (tail-sampled)")
+      .Flag("request-log-sample", "64",
+            "serve: keep every Nth OK request (0 = errors/slow only)")
+      .Flag("slo-ms", "50",
+            "serve: latency objective for burn-rate gauges and the "
+            "request log's always-keep threshold")
       .Flag("connections", "4", "serve-bench: concurrent client connections")
       .Flag("requests", "200", "serve-bench: requests per connection")
       .Flag("pairs-per-request", "16", "serve-bench: pairs per request")
       .Flag("rate", "0", "serve-bench: open-loop req/s (0 = closed loop)")
-      .Flag("duration", "1.0", "serve-bench: open-loop duration seconds");
+      .Flag("duration", "1.0", "serve-bench: open-loop duration seconds")
+      .Flag("trace-prefix", "lg",
+            "serve-bench: client trace-id prefix (empty = no trace block)");
   if (!args.Parse(argc - 1, argv + 1)) {
     return 1;
   }

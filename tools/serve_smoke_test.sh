@@ -1,10 +1,15 @@
 #!/bin/sh
 # End-to-end smoke test for the parapll_serve daemon: generate -> build ->
-# serve --watch, then drive it with serve-bench (answered traffic), force
+# serve --watch, then drive it with serve-bench (answered traffic, with
+# client trace ids), check the tracing pipeline (trace id echoed into the
+# wide-event request log, the slow-query log, and /debug/requests), watch
+# the windowed server.window.* gauges move between /metrics scrapes, force
 # explicit shedding against a tiny admission budget, republish the index
 # under live load and observe the hot swap, and finally SIGTERM the daemon
 # and check the flushed metrics snapshot carries the server.* counters.
-# Run by ctest/CI with the CLI binary path as $1.
+# Run by ctest/CI with the CLI binary path as $1. When SMOKE_ARTIFACT_DIR
+# is set, the request log / slow log / metrics scrapes are copied there
+# (CI uploads them as workflow artifacts).
 set -eu
 
 CLI="$1"
@@ -14,6 +19,13 @@ SHED_PID=""
 cleanup() {
   [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
   [ -n "$SHED_PID" ] && kill "$SHED_PID" 2>/dev/null
+  if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    for f in requests.jsonl slow.jsonl serve_metrics.json \
+             metrics_scrape1.txt metrics_scrape2.txt debug_requests.json; do
+      [ -e "$WORK/$f" ] && cp "$WORK/$f" "$SMOKE_ARTIFACT_DIR/" || true
+    done
+  fi
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -29,23 +41,83 @@ wait_port_file() {
   cat "$1"
 }
 
+# HTTP GET http://127.0.0.1:$1$2 -> file $3.
+http_get() {
+  python3 -c '
+import sys, urllib.request
+port, path, out = sys.argv[1:4]
+with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=10) as r:
+    open(out, "wb").write(r.read())
+' "$1" "$2" "$3"
+}
+
+# First "name value" sample for a Prometheus metric in a scrape file.
+metric_value() {
+  awk -v name="$2" '$1 == name {print $2; exit}' "$1"
+}
+
 "$CLI" generate --dataset Gnutella --scale 0.03 --seed 7 --out "$WORK/g.txt"
 "$CLI" build --graph "$WORK/g.txt" --mode parallel --threads 2 --seed 7 \
   --out "$WORK/g.index"
 
 # --- daemon up + answered traffic ----------------------------------------
+# Full observability stack: stats endpoint, wide-event request log (keep
+# every OK request), slow-query log at threshold 0 (every served pair gets
+# a record, each carrying its request's wire trace id).
 "$CLI" serve --index "$WORK/g.index" --watch --watch-poll-ms 50 \
-  --port-file "$WORK/port" --metrics-json "$WORK/serve_metrics.json" &
+  --port-file "$WORK/port" --metrics-json "$WORK/serve_metrics.json" \
+  --stats-port 0 --request-log "$WORK/requests.jsonl" \
+  --request-log-sample 1 --slo-ms 50 \
+  --slow-query-log "$WORK/slow.jsonl" --slow-query-threshold-us 0 \
+  2> "$WORK/daemon.log" &
 DAEMON_PID=$!
 PORT="$(wait_port_file "$WORK/port")"
+i=0
+until grep -q 'stats endpoint' "$WORK/daemon.log"; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "stats endpoint never came up" >&2; exit 1; }
+  sleep 0.1
+done
+STATS_PORT="$(sed -n 's#.*http://127.0.0.1:\([0-9]*\)/metrics.*#\1#p' \
+  "$WORK/daemon.log")"
 
+# The load generator stamps every request "smoke7-w<conn>-r<k>" and
+# verifies the daemon echoes each id on its response.
 "$CLI" serve-bench --port "$PORT" --connections 2 --requests 50 \
-  --pairs-per-request 8 > "$WORK/bench1.txt"
+  --pairs-per-request 8 --trace-prefix smoke7 > "$WORK/bench1.txt"
 cat "$WORK/bench1.txt"
 ANSWERED="$(awk '/^requests:/ {print $2}' "$WORK/bench1.txt")"
 [ "$ANSWERED" -gt 0 ] || { echo "no answered requests" >&2; exit 1; }
 grep -q ' 0 errors' "$WORK/bench1.txt"
 grep -q '^latency:.*p999' "$WORK/bench1.txt"
+
+# --- tracing joins the three sinks ---------------------------------------
+# One client-supplied trace id must appear verbatim in the wide-event
+# request log, the slow-query log, and the /debug/requests ring.
+TRACE="smoke7-w0-r0"
+grep -q "\"trace_id\":\"$TRACE\"" "$WORK/requests.jsonl" || {
+  echo "trace id $TRACE missing from request log" >&2; exit 1; }
+grep -q "\"trace_id\":\"$TRACE\"" "$WORK/slow.jsonl" || {
+  echo "trace id $TRACE missing from slow-query log" >&2; exit 1; }
+http_get "$STATS_PORT" /debug/requests "$WORK/debug_requests.json"
+grep -q "\"trace_id\":\"smoke7-" "$WORK/debug_requests.json" || {
+  echo "no smoke7 trace ids in /debug/requests" >&2; exit 1; }
+# Request-log records carry the coalesced batch's context id.
+grep -q '"batch":"query_batch/' "$WORK/requests.jsonl"
+
+# --- windowed gauges move between scrapes --------------------------------
+http_get "$STATS_PORT" /metrics "$WORK/metrics_scrape1.txt"
+for name in parapll_server_window_p50_ms parapll_server_window_p99_ms \
+            parapll_server_window_qps parapll_server_window_shed_rate \
+            parapll_server_window_slo_burn_rate; do
+  [ -n "$(metric_value "$WORK/metrics_scrape1.txt" "$name")" ] || {
+    echo "windowed gauge $name missing from /metrics" >&2; exit 1; }
+done
+# /healthz reports live serving saturation.
+http_get "$STATS_PORT" /healthz "$WORK/healthz.json"
+grep -q '"serve"' "$WORK/healthz.json"
+grep -q '"queue_depth_pairs"' "$WORK/healthz.json"
+grep -q '"snapshot_age_seconds"' "$WORK/healthz.json"
 
 # --- overload degrades into explicit SHED responses ----------------------
 "$CLI" serve --index "$WORK/g.index" --max-queued-pairs 4 \
@@ -79,6 +151,17 @@ until "$CLI" serve-bench --port "$PORT" --connections 1 --requests 1 \
   [ "$i" -le 50 ] || { echo "hot swap never observed" >&2; exit 1; }
   sleep 0.2
 done
+
+# --- second scrape: windowed gauges moved with the traffic ---------------
+# More than a full 1 s window interval has elapsed (build + 2000-request
+# bench), so the windowed rates must differ from the first scrape —
+# cumulative gauges would not.
+sleep 1.1
+http_get "$STATS_PORT" /metrics "$WORK/metrics_scrape2.txt"
+QPS1="$(metric_value "$WORK/metrics_scrape1.txt" parapll_server_window_qps)"
+QPS2="$(metric_value "$WORK/metrics_scrape2.txt" parapll_server_window_qps)"
+[ "$QPS1" != "$QPS2" ] || {
+  echo "windowed qps did not move across scrapes ($QPS1)" >&2; exit 1; }
 
 # --- clean shutdown flushes server.* metrics -----------------------------
 kill -TERM "$DAEMON_PID"
