@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 namespace parapll::build {
 
-void IndexArtifact::Save(const std::string& path) const {
-  // The manifest travels inside Index::Save; an artifact with a wholly
+void IndexArtifact::Save(const std::string& path,
+                         std::uint32_t format_version) const {
+  // The manifest travels inside the container; an artifact with a wholly
   // default manifest would round-trip as "unknown provenance", which
   // defeats the point — catch it at write time.
   if (index.Manifest() == pll::BuildManifest{} &&
@@ -15,7 +17,14 @@ void IndexArtifact::Save(const std::string& path) const {
   }
   index.Manifest().Validate();
   const std::string tmp = path + ".tmp";
-  index.SaveFile(tmp);
+  if (format_version == pll::kIndexFormatV2) {
+    pll::WriteIndexV2File(index, tmp);
+  } else if (format_version == pll::kIndexFormatV1) {
+    index.SaveFile(tmp);
+  } else {
+    throw std::runtime_error("unknown index format version " +
+                             std::to_string(format_version));
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error("cannot rename " + tmp + " to " + path);

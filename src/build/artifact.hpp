@@ -13,9 +13,11 @@
 // be pinned to a graph: fingerprint and vertex/edge counts must match.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "graph/graph.hpp"
+#include "pll/format_v2.hpp"
 #include "pll/index.hpp"
 
 namespace parapll::build {
@@ -32,8 +34,12 @@ struct IndexArtifact {
   }
 
   // Atomic write: serializes to `path + ".tmp"`, then renames over
-  // `path`. Throws std::runtime_error on I/O failure.
-  void Save(const std::string& path) const;
+  // `path`. `format_version` picks the container: 1 is the streamed
+  // layout (Index::Save), 2 the mmap-able format (pll/format_v2.hpp);
+  // both load through the same Load() below. Throws std::runtime_error
+  // on I/O failure or an unknown version.
+  void Save(const std::string& path,
+            std::uint32_t format_version = pll::kIndexFormatV1) const;
 
   // Loads and validates. Throws std::runtime_error on corrupt bytes, a
   // version mismatch, or (unlike raw Index::LoadFile) a missing manifest:

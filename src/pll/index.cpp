@@ -5,8 +5,10 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pll/format_v2.hpp"
 #include "pll/ordering.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 
 namespace parapll::pll {
 
@@ -47,7 +49,12 @@ std::size_t Index::MemoryBytes() const {
 }
 
 void Index::Save(std::ostream& out) const {
-  manifest_.Serialize(out);
+  // The manifest's format_version names the container it is published
+  // in, not the one the index was loaded from — stamp it like the v2
+  // writer does, so a v2->v1 republish doesn't claim to be v2.
+  BuildManifest manifest = manifest_;
+  manifest.format_version = kIndexFormatV1;
+  manifest.Serialize(out);
   store_.Serialize(out);
   for (graph::VertexId v : order_) {
     out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -55,6 +62,11 @@ void Index::Save(std::ostream& out) const {
 }
 
 Index Index::Load(std::istream& in) {
+  // Format dispatch on the leading magic: the mmap-able v2 container gets
+  // its own reader (heap materialization with full validation).
+  if (PeekV2Magic(in)) {
+    return ReadIndexV2(in);
+  }
   // Manifest-first layout; a stream opening directly with the label-store
   // magic is the pre-manifest format and loads with default provenance.
   BuildManifest manifest;
@@ -90,7 +102,23 @@ Index Index::LoadFile(const std::string& path) {
   if (!in) {
     throw std::runtime_error("cannot open " + path);
   }
-  return Load(in);
+  in.seekg(0, std::ios::end);
+  const auto bytes = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  const std::uint64_t start_ns = obs::TraceNowNs();
+  Index index = Load(in);
+  RecordIndexLoad(path, index.Manifest().format_version, bytes, "heap",
+                  static_cast<double>(obs::TraceNowNs() - start_ns) / 1e9);
+  return index;
+}
+
+void RecordIndexLoad(const std::string& path, std::uint32_t format_version,
+                     std::size_t bytes, const char* mode, double seconds) {
+  if (obs::MetricsEnabled()) {
+    obs::Registry::Global().GetGauge("index.load_seconds").Set(seconds);
+  }
+  LOG_INFO("index load: path=%s format=v%u bytes=%zu mode=%s seconds=%.6f",
+           path.c_str(), format_version, bytes, mode, seconds);
 }
 
 }  // namespace parapll::pll

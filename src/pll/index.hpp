@@ -65,4 +65,10 @@ class Index {
   BuildManifest manifest_;
 };
 
+// Cold-start instrumentation shared by every index loader: sets the
+// index.load_seconds gauge (when metrics are enabled) and emits one
+// structured "index load:" log line (path, format version, bytes, mode).
+void RecordIndexLoad(const std::string& path, std::uint32_t format_version,
+                     std::size_t bytes, const char* mode, double seconds);
+
 }  // namespace parapll::pll

@@ -110,9 +110,52 @@ double LabelStore::AvgLabelSize() const {
   return static_cast<double>(TotalEntries()) / static_cast<double>(n);
 }
 
-std::size_t LabelStore::MemoryBytes() const {
-  return offsets_.size() * sizeof(std::size_t) +
-         entries_.size() * sizeof(LabelEntry);
+LabelStore LabelStore::FromFlat(std::vector<std::size_t> offsets,
+                                std::vector<LabelEntry> entries) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != entries.size()) {
+    throw std::runtime_error("flat label offsets do not cover the entries");
+  }
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    const std::size_t begin = offsets[v];
+    const std::size_t end = offsets[v + 1];
+    if (end <= begin || end > entries.size()) {
+      throw std::runtime_error("flat label offsets are not monotonic");
+    }
+    if (entries[end - 1].hub != graph::kInvalidVertex) {
+      throw std::runtime_error("flat label row is missing its sentinel");
+    }
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+      if (entries[i].hub == graph::kInvalidVertex ||
+          (i > begin && entries[i].hub <= entries[i - 1].hub)) {
+        throw std::runtime_error("label row hubs are not strictly sorted");
+      }
+    }
+  }
+  LabelStore store;
+  store.offsets_ = std::move(offsets);
+  store.entries_ = std::move(entries);
+  return store;
+}
+
+const char* ToString(StoreBackend backend) {
+  switch (backend) {
+    case StoreBackend::kHeap:
+      return "heap";
+    case StoreBackend::kMmap:
+      return "mmap";
+    case StoreBackend::kPaged:
+      return "paged";
+  }
+  return "unknown";
+}
+
+StoreBackend StoreBackendFromString(const std::string& name) {
+  if (name == "heap") return StoreBackend::kHeap;
+  if (name == "mmap") return StoreBackend::kMmap;
+  if (name == "paged") return StoreBackend::kPaged;
+  throw std::runtime_error("unknown store backend: " + name +
+                           " (expected heap|mmap|paged)");
 }
 
 namespace {

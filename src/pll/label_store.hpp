@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "pll/label_source.hpp"
 
 namespace parapll::pll {
 
@@ -155,7 +156,9 @@ class MutableLabels {
 };
 
 // Immutable query-stage store (sentinel-terminated rows, see file header).
-class LabelStore {
+// The heap backend of LabelSource; `final` so direct calls through a
+// concrete LabelStore devirtualize.
+class LabelStore final : public LabelSource {
  public:
   LabelStore() = default;
 
@@ -165,19 +168,27 @@ class LabelStore {
   static LabelStore FromRows(std::vector<std::vector<LabelEntry>> rows);
   static LabelStore FromMutable(const MutableLabels& labels);
 
-  [[nodiscard]] graph::VertexId NumVertices() const {
+  // Adopts an already-flattened query layout: `offsets` in entry units
+  // with rows *including* their sentinels (the format-v2 convention).
+  // Validates shape, sentinel placement, and strict hub sortedness;
+  // throws std::runtime_error on violation.
+  static LabelStore FromFlat(std::vector<std::size_t> offsets,
+                             std::vector<LabelEntry> entries);
+
+  [[nodiscard]] graph::VertexId NumVertices() const override {
     return static_cast<graph::VertexId>(
         offsets_.empty() ? 0 : offsets_.size() - 1);
   }
 
   // L(v) without the trailing sentinel.
-  [[nodiscard]] std::span<const LabelEntry> Row(graph::VertexId v) const {
+  [[nodiscard]] std::span<const LabelEntry> Row(
+      graph::VertexId v) const override {
     return {entries_.data() + offsets_[v],
             entries_.data() + (offsets_[v + 1] - 1)};
   }
 
   // Raw pointer to the sentinel-terminated row of v — QuerySentinel input.
-  [[nodiscard]] const LabelEntry* RowBegin(graph::VertexId v) const {
+  [[nodiscard]] const LabelEntry* RowBegin(graph::VertexId v) const override {
     return entries_.data() + offsets_[v];
   }
 
@@ -192,8 +203,12 @@ class LabelStore {
   }
 
   // Label entries excluding the per-row sentinels.
-  [[nodiscard]] std::size_t TotalEntries() const {
+  [[nodiscard]] std::size_t TotalEntries() const override {
     return entries_.size() - NumVertices();
+  }
+
+  [[nodiscard]] StoreBackend Backend() const override {
+    return StoreBackend::kHeap;
   }
 
   // Per-vertex rows without sentinels (hub-sorted) — the inverse of
@@ -203,8 +218,12 @@ class LabelStore {
   // "LN" in the paper's tables: average label entries per vertex.
   [[nodiscard]] double AvgLabelSize() const;
 
-  // Approximate resident size of the store in bytes (sentinels included).
-  [[nodiscard]] std::size_t MemoryBytes() const;
+  // Resident size of the store in bytes (sentinels included): the
+  // *capacity* of both vectors, matching how ConcurrentLabelStore counts.
+  [[nodiscard]] std::size_t MemoryBytes() const override {
+    return offsets_.capacity() * sizeof(std::size_t) +
+           entries_.capacity() * sizeof(LabelEntry);
+  }
 
   // The serialized format carries no sentinels; Deserialize validates the
   // stream (magic, monotonic offsets, sorted hub rows) and throws
@@ -212,7 +231,11 @@ class LabelStore {
   void Serialize(std::ostream& out) const;
   static LabelStore Deserialize(std::istream& in);
 
-  friend bool operator==(const LabelStore&, const LabelStore&) = default;
+  // Hand-written (a defaulted comparison would require operator== on the
+  // abstract base): equal iff the flattened layouts are identical.
+  friend bool operator==(const LabelStore& a, const LabelStore& b) {
+    return a.offsets_ == b.offsets_ && a.entries_ == b.entries_;
+  }
 
  private:
   std::vector<std::size_t> offsets_;  // n + 1, rows include their sentinel

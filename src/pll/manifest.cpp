@@ -52,7 +52,7 @@ std::string ReadName(std::istream& in) {
 }  // namespace
 
 void BuildManifest::Validate() const {
-  if (format_version != kFormatVersion) {
+  if (format_version < kFormatVersion || format_version > kMaxFormatVersion) {
     throw std::runtime_error("unsupported manifest format version " +
                              std::to_string(format_version));
   }
@@ -102,8 +102,10 @@ BuildManifest BuildManifest::Deserialize(std::istream& in) {
   BuildManifest m;
   m.format_version = ReadPod<std::uint32_t>(in);
   // Check the version before parsing anything version-dependent: a future
-  // layout must not be misread as today's.
-  if (m.format_version != kFormatVersion) {
+  // layout must not be misread as today's. Versions 1 and 2 share the
+  // manifest payload layout (2 only marks the v2 container around it).
+  if (m.format_version < kFormatVersion ||
+      m.format_version > kMaxFormatVersion) {
     throw std::runtime_error("unsupported manifest format version " +
                              std::to_string(m.format_version));
   }

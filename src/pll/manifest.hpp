@@ -22,9 +22,13 @@ namespace parapll::pll {
 
 struct BuildManifest {
   // Bump on any incompatible change to the artifact layout. Loaders
-  // reject mismatches outright: a manifest is a correctness contract,
-  // not a hint.
+  // reject anything outside [kFormatVersion, kMaxFormatVersion]: a
+  // manifest is a correctness contract, not a hint. Version 1 is the
+  // streamed v1 container (Index::Save); version 2 marks the manifest as
+  // embedded in an mmap-able format-v2 container (pll/format_v2.hpp) —
+  // the manifest payload layout itself is identical in both.
   static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::uint32_t kMaxFormatVersion = 2;
 
   std::uint32_t format_version = kFormatVersion;
   std::uint64_t graph_fingerprint = 0;  // graph::Fingerprint of the input

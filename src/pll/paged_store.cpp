@@ -1,0 +1,111 @@
+#include "pll/paged_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace parapll::pll {
+
+namespace {
+
+// Per-thread ring of the most recently returned row buffers. A pinned
+// buffer survives eviction (eviction drops only the cache's reference),
+// which is what makes the kRowPinDepth pointer-lifetime contract hold
+// without readers taking a lock on every dereference after the fetch.
+// Shared across store instances: pins only extend lifetimes.
+void PinRow(const std::shared_ptr<LabelEntry[]>& buffer) {
+  thread_local std::shared_ptr<LabelEntry[]> ring[kRowPinDepth];
+  thread_local std::size_t next = 0;
+  ring[next] = buffer;
+  next = (next + 1) % kRowPinDepth;
+}
+
+}  // namespace
+
+std::shared_ptr<PagedLabelStore> PagedLabelStore::Open(
+    const std::string& path, std::size_t cache_bytes) {
+  MappedFile file = MappedFile::Open(path);
+  V2View view = ValidateV2Mapping(file.data(), file.size());
+  return std::make_shared<PagedLabelStore>(std::move(file), view,
+                                           cache_bytes);
+}
+
+PagedLabelStore::RowBuffer PagedLabelStore::FetchLocked(
+    graph::VertexId v) const {
+  const auto it = cache_.find(v);
+  if (it != cache_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.buffer;
+  }
+  ++misses_;
+  const std::size_t length = RowLength(v);
+  const std::size_t bytes = length * sizeof(LabelEntry);
+  while (resident_bytes_ + bytes > budget_bytes_ && !lru_.empty()) {
+    const graph::VertexId victim = lru_.back();
+    lru_.pop_back();
+    const auto victim_it = cache_.find(victim);
+    resident_bytes_ -= victim_it->second.bytes;
+    cache_.erase(victim_it);  // pinned readers still hold their reference
+    ++evictions_;
+  }
+  RowBuffer buffer = std::make_shared<LabelEntry[]>(length);
+  std::memcpy(buffer.get(), view_.entries + view_.offsets[v], bytes);
+  lru_.push_front(v);
+  cache_.emplace(v, Slot{buffer, bytes, lru_.begin()});
+  resident_bytes_ += bytes;
+  return buffer;
+}
+
+const LabelEntry* PagedLabelStore::RowBegin(graph::VertexId v) const {
+  // A row larger than the whole budget can never be resident; serve it
+  // straight from the mapping (pointer valid for the store's lifetime).
+  if (RowLength(v) * sizeof(LabelEntry) > budget_bytes_) {
+    return view_.entries + view_.offsets[v];
+  }
+  RowBuffer buffer;
+  {
+    util::MutexLock lock(mutex_);
+    buffer = FetchLocked(v);
+  }
+  const LabelEntry* row = buffer.get();
+  PinRow(buffer);
+  return row;
+}
+
+void PagedLabelStore::Readahead(
+    std::span<const graph::VertexId> ranks) const {
+  // Ask the kernel for the cold byte ranges first, then fault the rows
+  // into the cache in one locked burst (no pinning: the batch may exceed
+  // the ring; the later RowBegin calls pin what they return).
+  for (const graph::VertexId v : ranks) {
+    file_.Willneed(static_cast<std::size_t>(view_.header.entries_pos) +
+                       static_cast<std::size_t>(view_.offsets[v]) *
+                           sizeof(LabelEntry),
+                   RowLength(v) * sizeof(LabelEntry));
+  }
+  util::MutexLock lock(mutex_);
+  for (const graph::VertexId v : ranks) {
+    if (RowLength(v) * sizeof(LabelEntry) > budget_bytes_) {
+      continue;  // bypass rows are never cached
+    }
+    (void)FetchLocked(v);
+  }
+}
+
+std::size_t PagedLabelStore::MemoryBytes() const {
+  util::MutexLock lock(mutex_);
+  return sizeof(*this) + resident_bytes_;
+}
+
+LabelSource::CacheStats PagedLabelStore::Cache() const {
+  util::MutexLock lock(mutex_);
+  CacheStats stats;
+  stats.valid = true;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.resident_bytes = resident_bytes_;
+  return stats;
+}
+
+}  // namespace parapll::pll

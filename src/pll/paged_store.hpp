@@ -1,0 +1,117 @@
+// PagedLabelStore — bounded-memory LabelSource backend (SAGE-style
+// disk-resident vertex cache; see PAPERS.md).
+//
+// The format-v2 file is mapped read-only as the *cold region* (same
+// validation as MmapLabelStore), and a bounded LRU cache keeps heap
+// copies of hot label rows on top of it. Queries against cached rows
+// never fault, no matter what the kernel reclaims; the cache budget —
+// not the index size — bounds the store's owned memory, and hit/miss/
+// eviction counts make the memory/throughput frontier observable
+// (store.cache.* metrics).
+//
+// Pointer lifetime (see label_source.hpp): a returned row pointer is
+// either (a) into the mapping (rows larger than the whole budget bypass
+// the cache) and lives as long as the store, or (b) into a cached heap
+// buffer kept alive by a per-thread pin ring holding the kRowPinDepth
+// most recently returned buffers — eviction only drops the cache's own
+// reference, never a pinned one.
+//
+// Readahead(ranks) batch-faults a shard's cold rows under one lock
+// acquisition (and madvises the mapping), so a batched query takes one
+// miss burst per shard instead of one lock round-trip per merge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "pll/format_v2.hpp"
+#include "pll/label_source.hpp"
+#include "pll/mmap_store.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace parapll::pll {
+
+class PagedLabelStore final : public LabelSource {
+ public:
+  // Maps + validates `path`; `cache_bytes` is the row-cache budget
+  // (heap bytes of cached row copies). Throws std::runtime_error on I/O
+  // or validation failure, or when mmap is unavailable.
+  [[nodiscard]] static std::shared_ptr<PagedLabelStore> Open(
+      const std::string& path, std::size_t cache_bytes);
+
+  // Public for make_shared; use Open().
+  PagedLabelStore(MappedFile file, V2View view, std::size_t cache_bytes)
+      : file_(std::move(file)), view_(view), budget_bytes_(cache_bytes) {}
+
+  [[nodiscard]] const LabelEntry* RowBegin(graph::VertexId v) const override;
+  [[nodiscard]] std::span<const LabelEntry> Row(
+      graph::VertexId v) const override {
+    const LabelEntry* begin = RowBegin(v);
+    return {begin, begin + RowLength(v) - 1};  // -1: drop the sentinel
+  }
+  [[nodiscard]] graph::VertexId NumVertices() const override {
+    return static_cast<graph::VertexId>(view_.header.num_vertices);
+  }
+  [[nodiscard]] std::size_t TotalEntries() const override {
+    return static_cast<std::size_t>(view_.header.total_entries);
+  }
+  // Owned heap bytes: the resident row cache (mapped cold pages are
+  // file-backed and reclaimable, so not counted — same stance as
+  // MmapLabelStore).
+  [[nodiscard]] std::size_t MemoryBytes() const override;
+  [[nodiscard]] StoreBackend Backend() const override {
+    return StoreBackend::kPaged;
+  }
+
+  void Readahead(std::span<const graph::VertexId> ranks) const override;
+  [[nodiscard]] bool WantsReadahead() const override { return true; }
+  [[nodiscard]] CacheStats Cache() const override;
+
+  [[nodiscard]] const BuildManifest& Manifest() const {
+    return view_.manifest;
+  }
+  [[nodiscard]] std::span<const graph::VertexId> OrderSpan() const {
+    return {view_.order, static_cast<std::size_t>(view_.header.num_vertices)};
+  }
+  [[nodiscard]] std::size_t FileBytes() const { return file_.size(); }
+  [[nodiscard]] std::size_t BudgetBytes() const { return budget_bytes_; }
+
+ private:
+  using RowBuffer = std::shared_ptr<LabelEntry[]>;
+
+  // Sentinel-inclusive entry count of row v (from the mapped offsets).
+  [[nodiscard]] std::size_t RowLength(graph::VertexId v) const {
+    return static_cast<std::size_t>(view_.offsets[v + 1] - view_.offsets[v]);
+  }
+
+  // Returns the cached buffer for v, faulting it in (and evicting LRU
+  // rows past the budget) on miss. Requires row v to fit the budget.
+  [[nodiscard]] RowBuffer FetchLocked(graph::VertexId v) const
+      REQUIRES(mutex_);
+
+  struct Slot {
+    RowBuffer buffer;
+    std::size_t bytes = 0;
+    std::list<graph::VertexId>::iterator lru_pos;
+  };
+
+  MappedFile file_;
+  V2View view_;  // pointers into file_
+  std::size_t budget_bytes_ = 0;
+
+  mutable util::Mutex mutex_;
+  mutable std::unordered_map<graph::VertexId, Slot> cache_ GUARDED_BY(mutex_);
+  mutable std::list<graph::VertexId> lru_ GUARDED_BY(mutex_);  // front = hot
+  mutable std::size_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t misses_ GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace parapll::pll

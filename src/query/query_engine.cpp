@@ -7,36 +7,115 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "pll/label_store.hpp"
+#include "pll/ordering.hpp"
 #include "util/check.hpp"
 
 namespace parapll::query {
 
+namespace {
+
+// Non-owning aliasing handle: the store is borrowed, lifetime managed by
+// the caller (the ctor contract says the index outlives the engine).
+std::shared_ptr<const pll::LabelSource> BorrowStore(
+    const pll::LabelStore& store) {
+  return {std::shared_ptr<const pll::LabelSource>{}, &store};
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const pll::Index& index, QueryEngineOptions options)
-    : index_(index), options_(options) {
+    : QueryEngine(BorrowStore(index.Store()), index.Order(), options) {}
+
+QueryEngine::QueryEngine(std::shared_ptr<const pll::LabelSource> source,
+                         std::span<const graph::VertexId> order,
+                         QueryEngineOptions options)
+    : source_(std::move(source)), options_(options) {
+  PARAPLL_CHECK(source_ != nullptr);
+  PARAPLL_CHECK(order.size() == source_->NumVertices());
+  rank_of_ =
+      pll::InvertOrder(std::vector<graph::VertexId>(order.begin(), order.end()));
   PARAPLL_CHECK(options_.threads >= 1);
   options_.min_pairs_per_shard = std::max<std::size_t>(
       options_.min_pairs_per_shard, 1);
   if (options_.threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
-  if (obs::MetricsEnabled()) {
-    // Serving-side memory accounting: the resident label bytes this
-    // engine answers from, next to the live process RSS in telemetry.
-    obs::Registry::Global()
-        .GetGauge("query.engine.index_memory_bytes")
-        .Set(static_cast<double>(index_.MemoryBytes()));
+  RegisterProbes();
+}
+
+void QueryEngine::RegisterProbes() {
+  if (!obs::MetricsEnabled()) {
+    return;
   }
+  // Serving-side memory accounting: the resident label bytes this
+  // engine answers from, next to the live process RSS in telemetry.
+  // (Kept for compatibility with the build-time gauge name.)
+  obs::Registry::Global()
+      .GetGauge("query.engine.index_memory_bytes")
+      .Set(static_cast<double>(source_->MemoryBytes() +
+                               rank_of_.size() * sizeof(graph::VertexId)));
+  // Pull-gauges live as long as the engine: the probe registry collects
+  // them before every telemetry sample and /metrics scrape, so the
+  // serving store's footprint stays observable after the build's own
+  // probe unregisters (TakeFinalized).
+  const pll::LabelSource* source = source_.get();
+  probes_.push_back(std::make_unique<obs::ScopedProbe>(
+      "store.memory_bytes",
+      [source] { return static_cast<double>(source->MemoryBytes()); }));
+  if (!source->Cache().valid) {
+    return;
+  }
+  probes_.push_back(std::make_unique<obs::ScopedProbe>(
+      "store.cache.hits",
+      [source] { return static_cast<double>(source->Cache().hits); }));
+  probes_.push_back(std::make_unique<obs::ScopedProbe>(
+      "store.cache.misses",
+      [source] { return static_cast<double>(source->Cache().misses); }));
+  probes_.push_back(std::make_unique<obs::ScopedProbe>(
+      "store.cache.evictions",
+      [source] { return static_cast<double>(source->Cache().evictions); }));
+  probes_.push_back(std::make_unique<obs::ScopedProbe>(
+      "store.cache.resident_bytes", [source] {
+        return static_cast<double>(source->Cache().resident_bytes);
+      }));
+  probes_.push_back(std::make_unique<obs::ScopedProbe>(
+      "store.cache.hit_rate", [source] {
+        const auto stats = source->Cache();
+        const double lookups =
+            static_cast<double>(stats.hits) + static_cast<double>(stats.misses);
+        return lookups == 0.0 ? 0.0
+                              : static_cast<double>(stats.hits) / lookups;
+      }));
+}
+
+void QueryEngine::AnnounceShard(std::span<const QueryPair> pairs) const {
+  if (!source_->WantsReadahead() || pairs.empty()) {
+    return;
+  }
+  std::vector<graph::VertexId> ranks;
+  ranks.reserve(pairs.size() * 2);
+  for (const auto& [s, t] : pairs) {
+    if (s != t) {
+      ranks.push_back(RankOf(s));
+      ranks.push_back(RankOf(t));
+    }
+  }
+  source_->Readahead(ranks);
 }
 
 void QueryEngine::RunShard(std::span<const QueryPair> pairs,
                            std::span<graph::Distance> out) const {
-  const pll::LabelStore& store = index_.Store();
+  AnnounceShard(pairs);
+  const pll::LabelSource& store = *source_;
   // Software pipeline: resolve + prefetch the *next* pair's label rows
   // while the current pair merges, hiding the first-cache-line miss of
-  // each row behind useful work.
+  // each row behind useful work. The two-pair working set (current +
+  // next) is why pll::kRowPinDepth >= 4 is part of the LabelSource
+  // pointer-lifetime contract.
   auto rows_of = [&](const QueryPair& pair) {
-    const auto a = store.RowBegin(index_.RankOf(pair.first));
-    const auto b = store.RowBegin(index_.RankOf(pair.second));
+    const auto a = store.RowBegin(RankOf(pair.first));
+    const auto b = store.RowBegin(RankOf(pair.second));
     pll::PrefetchRow(a);
     pll::PrefetchRow(b);
     return std::pair{a, b};
@@ -61,7 +140,8 @@ void QueryEngine::RunShardLogged(std::span<const QueryPair> pairs,
                                  std::size_t base,
                                  std::span<const BatchTraceSlice> traces)
     const {
-  const pll::LabelStore& store = index_.Store();
+  AnnounceShard(pairs);
+  const pll::LabelSource& store = *source_;
   SlowQueryLog& log = *options_.slow_log;
   // Slices are sorted and disjoint, and this shard walks the batch in
   // order, so one forward cursor resolves every pair's trace.
@@ -85,8 +165,8 @@ void QueryEngine::RunShardLogged(std::span<const QueryPair> pairs,
     if (s == t) {
       d = graph::Distance{0};
     } else {
-      const auto a = store.RowBegin(index_.RankOf(s));
-      const auto b = store.RowBegin(index_.RankOf(t));
+      const auto a = store.RowBegin(RankOf(s));
+      const auto b = store.RowBegin(RankOf(t));
       pll::PrefetchRow(a);
       pll::PrefetchRow(b);
       d = pll::QuerySentinelCounted(a, b, scanned);
@@ -102,7 +182,7 @@ std::uint64_t QueryEngine::QueryBatchTraced(
   if (pairs.size() != out.size()) {
     throw std::invalid_argument("QueryBatch spans differ in size");
   }
-  const graph::VertexId n = index_.NumVertices();
+  const graph::VertexId n = source_->NumVertices();
   for (const auto& [s, t] : pairs) {
     if (s >= n || t >= n) {
       throw std::out_of_range("QueryBatch pair references vertex >= n");

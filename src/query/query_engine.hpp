@@ -1,18 +1,24 @@
 // Batched, multi-threaded query serving (the paper's §1 use case: index
 // once, then answer "heavy traffic" distance queries in microseconds).
 //
-// A QueryEngine borrows a built pll::Index and owns a persistent worker
-// pool. QueryBatch shards a batch of (s, t) pairs into contiguous chunks,
+// A QueryEngine answers from a pll::LabelSource — heap rows, a zero-copy
+// mmap of a format-v2 file, or a paged row cache (see pll/label_source.hpp)
+// — and owns a persistent worker pool. QueryBatch shards a batch of
+// (s, t) pairs into contiguous chunks, announces each shard's rows to the
+// source (Readahead, so the paged backend batch-faults its cold rows),
 // answers each chunk with the sentinel-row merge (pll::QuerySentinel)
 // while prefetching the next pair's label rows, and blocks until the
 // whole batch is answered in place. Results are bit-identical to calling
-// Index::Query per pair — batching changes scheduling, never answers.
+// Index::Query per pair — batching and backend change scheduling and
+// ownership, never answers.
 //
 // Threading contract: the engine may be shared by concurrent callers;
-// each QueryBatch call only reads the index and writes its own output
+// each QueryBatch call only reads the source and writes its own output
 // span, and the shared pool's Wait() returns no earlier than the caller's
 // own shards finishing. Metrics (when enabled) land in the global
-// registry under "query.batch.*" — see EXPERIMENTS.md for the schema.
+// registry under "query.batch.*", and the engine keeps the serving-side
+// "store.memory_bytes" / "store.cache.*" pull-gauges registered for its
+// lifetime — see EXPERIMENTS.md for the schema.
 #pragma once
 
 #include <cstddef>
@@ -21,7 +27,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "pll/index.hpp"
+#include "pll/label_source.hpp"
 #include "query/slow_query_log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,15 +64,24 @@ struct QueryEngineOptions {
 
 class QueryEngine {
  public:
-  // The index must outlive the engine.
+  // Borrows a heap index; the index must outlive the engine.
   explicit QueryEngine(const pll::Index& index,
                        QueryEngineOptions options = {});
+
+  // Owns (a share of) any label source. `order` is the rank -> original
+  // vertex id permutation matching the source's rank space.
+  QueryEngine(std::shared_ptr<const pll::LabelSource> source,
+              std::span<const graph::VertexId> order,
+              QueryEngineOptions options = {});
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   [[nodiscard]] std::size_t Threads() const { return options_.threads; }
-  [[nodiscard]] const pll::Index& IndexRef() const { return index_; }
+  [[nodiscard]] const pll::LabelSource& Source() const { return *source_; }
+  [[nodiscard]] graph::VertexId NumVertices() const {
+    return source_->NumVertices();
+  }
 
   // Answers pairs[i] into out[i] for every i. Throws std::invalid_argument
   // when the spans disagree in size and std::out_of_range when any vertex
@@ -85,6 +102,16 @@ class QueryEngine {
                                  std::span<const BatchTraceSlice> traces);
 
  private:
+  void RegisterProbes();
+
+  // Rank of original vertex id v in the source's row space.
+  [[nodiscard]] graph::VertexId RankOf(graph::VertexId v) const {
+    return rank_of_[v];
+  }
+  // Batches the shard's row ranks into one Readahead call when the
+  // source wants it (paged backend: one cold-row burst per shard).
+  void AnnounceShard(std::span<const QueryPair> pairs) const;
+
   // Answers one contiguous shard (already validated).
   void RunShard(std::span<const QueryPair> pairs,
                 std::span<graph::Distance> out) const;
@@ -95,9 +122,13 @@ class QueryEngine {
                       std::span<graph::Distance> out, std::size_t base,
                       std::span<const BatchTraceSlice> traces) const;
 
-  const pll::Index& index_;
+  std::shared_ptr<const pll::LabelSource> source_;
+  std::vector<graph::VertexId> rank_of_;  // original id -> rank
   QueryEngineOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when threads == 1
+  // Serving-side pull-gauges (store.memory_bytes, store.cache.*);
+  // registered while this engine lives, metrics-gated.
+  std::vector<std::unique_ptr<obs::ScopedProbe>> probes_;
 };
 
 }  // namespace parapll::query

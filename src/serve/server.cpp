@@ -17,7 +17,6 @@
 #include <unistd.h>
 #endif
 
-#include "build/artifact.hpp"
 #include "obs/expose.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -83,12 +82,16 @@ struct QueryServer::PendingRequest {
 };
 
 QueryServer::QueryServer(pll::Index index, ServeOptions options)
+    : QueryServer(pll::ServableIndex::FromIndex(std::move(index)),
+                  std::move(options)) {}
+
+QueryServer::QueryServer(pll::ServableIndex servable, ServeOptions options)
     : options_(std::move(options)), request_log_(options_.request_log) {
   engine_options_.threads = std::max<std::size_t>(options_.engine_threads, 1);
   engine_options_.min_pairs_per_shard = options_.min_pairs_per_shard;
   engine_options_.slow_log = options_.slow_log;
   util::MutexLock lock(mutex_);
-  served_ = std::make_shared<Served>(std::move(index), engine_options_);
+  served_ = std::make_shared<Served>(std::move(servable), engine_options_);
   served_->published_ns = obs::TraceNowNs();
 }
 
@@ -115,8 +118,8 @@ std::shared_ptr<QueryServer::Served> QueryServer::Snapshot() const {
 ServerInfo QueryServer::InfoSnapshot() const {
   const std::shared_ptr<Served> served = Snapshot();
   ServerInfo info;
-  info.num_vertices = served->index.NumVertices();
-  info.fingerprint = served->index.Manifest().graph_fingerprint;
+  info.num_vertices = served->servable.NumVertices();
+  info.fingerprint = served->servable.manifest.graph_fingerprint;
   info.hot_swaps = hot_swaps_.load();
   info.queued_pairs = queued_pairs_.load();
   info.shed = shed_.load();
@@ -394,7 +397,7 @@ void QueryServer::DrainPending(std::vector<PendingRequest>& pending) {
   // on the engine it was admitted against.
   const std::shared_ptr<Served> served = Snapshot();
   const auto num_vertices =
-      static_cast<graph::VertexId>(served->index.NumVertices());
+      static_cast<graph::VertexId>(served->servable.NumVertices());
 
   // Validate per request so one bad vertex id cannot poison the batch
   // (QueryBatch throws on any out-of-range id, checked up front).
@@ -612,21 +615,29 @@ void QueryServer::TryReload() {
   }
   last_stamp_ = stamp;
   try {
-    build::IndexArtifact artifact =
-        build::IndexArtifact::Load(options_.watch_path);
-    if (!artifact.Manifest().IsComplete()) {
+    // The configured backend decides how the republished artifact loads:
+    // heap deserializes, mmap/paged revalidate + map the v2 container
+    // (with heap fallback for v1 files, see pll/servable.hpp).
+    pll::ServableIndex servable = pll::ServableIndex::Load(
+        options_.watch_path, options_.backend, options_.cache_bytes);
+    if (!servable.IsComplete()) {
       throw std::runtime_error("serve: watched artifact is a checkpoint, "
                                "not a complete index");
     }
+    if (servable.manifest == pll::BuildManifest{} &&
+        servable.NumVertices() != 0) {
+      throw std::runtime_error("serve: watched artifact has no manifest");
+    }
+    servable.manifest.Validate();
     {
       util::MutexLock lock(mutex_);
       if (served_ != nullptr &&
-          served_->index.Manifest() == artifact.Manifest()) {
+          served_->servable.manifest == servable.manifest) {
         return;  // byte-identical republish; nothing to swap
       }
     }
-    const pll::BuildManifest manifest = artifact.Manifest();
-    auto next = std::make_shared<Served>(std::move(artifact.index),
+    const pll::BuildManifest manifest = servable.manifest;
+    auto next = std::make_shared<Served>(std::move(servable),
                                          engine_options_);
     next->published_ns = obs::TraceNowNs();
     {

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "pll/index.hpp"
+#include "pll/servable.hpp"
 #include "query/query_engine.hpp"
 #include "serve/frame.hpp"
 #include "serve/request_log.hpp"
@@ -70,6 +71,15 @@ struct ServeOptions {
   // engine when a different complete build appears under it.
   std::string watch_path;
   int watch_poll_ms = 200;
+  // Label storage backend used when (re)loading the served index from a
+  // file (`serve --mmap` / `--cache-mb`). Zero-copy backends need the
+  // format-v2 container and fall back to heap for v1 artifacts (see
+  // pll/servable.hpp). An mmap-backed snapshot is unmapped only after
+  // the last in-flight batch drops its Served snapshot — the RCU flip
+  // gives the unmap-after-drain guarantee for free.
+  pll::StoreBackend backend = pll::StoreBackend::kHeap;
+  // Row-cache budget for the paged backend, in bytes.
+  std::size_t cache_bytes = std::size_t{64} << 20;
   // When non-null, every served pair is timed into this slow-query log
   // (with the request's wire-level trace id attached). Must outlive the
   // server; hot-swapped engines share it.
@@ -94,8 +104,10 @@ struct ServeStats {
 
 class QueryServer {
  public:
-  // Takes ownership of the index it serves (hot swaps replace it).
+  // Takes ownership of the (heap) index it serves (hot swaps replace it).
   QueryServer(pll::Index index, ServeOptions options);
+  // Serves an already-loaded source behind any backend.
+  QueryServer(pll::ServableIndex servable, ServeOptions options);
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -123,15 +135,19 @@ class QueryServer {
   [[nodiscard]] RequestLog& RequestLogRef() { return request_log_; }
 
  private:
-  // The RCU-style unit of hot swap: an index and the engine built over
-  // it, flipped together so a batch never outlives its labels. The
-  // engine borrows `index`, so the pair must live and die as one.
+  // The RCU-style unit of hot swap: a loaded label source and the engine
+  // built over it, flipped together so a batch never outlives its labels
+  // (for the mmap backend: never outlives its mapping). The engine
+  // shares ownership of servable.source, so the pair lives and dies as
+  // one shared_ptr<Served>.
   struct Served {
-    pll::Index index;
+    pll::ServableIndex servable;
     query::QueryEngine engine;
     std::uint64_t published_ns = 0;  // when this snapshot went live
-    Served(pll::Index idx, const query::QueryEngineOptions& engine_options)
-        : index(std::move(idx)), engine(index, engine_options) {}
+    Served(pll::ServableIndex s,
+           const query::QueryEngineOptions& engine_options)
+        : servable(std::move(s)),
+          engine(servable.source, servable.order, engine_options) {}
   };
 
   struct Connection;

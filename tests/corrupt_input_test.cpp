@@ -3,8 +3,11 @@
 // std::runtime_error — never an abort, a wild allocation, or a silently
 // wrong distance.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -16,8 +19,11 @@
 #include "graph/generators.hpp"
 #include "parapll/parallel_indexer.hpp"
 #include "pll/compact_io.hpp"
+#include "pll/format_v2.hpp"
 #include "pll/index.hpp"
 #include "pll/label_store.hpp"
+#include "pll/mmap_store.hpp"
+#include "pll/paged_store.hpp"
 #include "pll/pruned_dijkstra.hpp"
 #include "pll/serial_pll.hpp"
 
@@ -349,8 +355,18 @@ TEST(CorruptManifest, BadMagicFallsThroughAndThrows) {
 TEST(CorruptManifest, VersionMismatchThrows) {
   std::string bytes = IndexBytes(MakeManifestedIndex());
   Patch<std::uint32_t>(bytes, kManifestVersion,
-                       pll::BuildManifest::kFormatVersion + 1);
+                       pll::BuildManifest::kMaxFormatVersion + 1);
   EXPECT_THROW(LoadIndexBytes(bytes), std::runtime_error);
+}
+
+// format_version 2 marks a manifest embedded in the v2 container; the
+// payload layout is unchanged, so loaders accept the whole [1, max] range.
+TEST(CorruptManifest, EmbeddedContainerVersionIsAccepted) {
+  std::string bytes = IndexBytes(MakeManifestedIndex());
+  Patch<std::uint32_t>(bytes, kManifestVersion,
+                       pll::BuildManifest::kMaxFormatVersion);
+  EXPECT_EQ(LoadIndexBytes(bytes).Manifest().format_version,
+            pll::BuildManifest::kMaxFormatVersion);
 }
 
 TEST(CorruptManifest, OversizedNameLengthThrows) {
@@ -393,6 +409,225 @@ TEST(CorruptManifest, LegacyStreamWithoutManifestStillLoads) {
   EXPECT_EQ(loaded.Manifest(), pll::BuildManifest{});
   EXPECT_EQ(loaded.Store(), index.Store());
 }
+
+// Format-v2 container hardening. The same corrupt bytes go through BOTH
+// loaders: the heap reader (ReadIndexV2 via Index::Load, full per-entry
+// rigor) and the zero-copy mapping validator (ValidateV2Mapping, the O(n)
+// pass MmapLabelStore/PagedLabelStore run before serving pointers into
+// the file). Every corruption must throw from both — except in-row hub
+// order, which is deliberately only the heap loader's job.
+//
+// V2Header layout (pll/format_v2.hpp):
+//   [0, 8)   magic   [8, 12)  version       [12, 16) header_bytes
+//   [16, 24) n       [24, 32) total_entries [32, 40) manifest_pos
+//   [40, 48) manifest_len     [48, 56) order_pos     [56, 64) offsets_pos
+//   [64, 72) entries_pos      [72, 80) file_bytes
+constexpr std::size_t kV2Version = 8;
+constexpr std::size_t kV2NumVertices = 16;
+constexpr std::size_t kV2OrderPos = 48;
+constexpr std::size_t kV2OffsetsPos = 56;
+constexpr std::size_t kV2EntriesPos = 64;
+constexpr std::size_t kV2FileBytes = 72;
+
+std::string V2Bytes(const pll::Index& index) {
+  std::ostringstream out(std::ios::binary);
+  pll::WriteIndexV2(index, out);
+  return out.str();
+}
+
+// ValidateV2Mapping demands a 16-byte-aligned base (mmap gives pages);
+// vector<LabelEntry> reproduces that alignment for in-memory corpora.
+void ExpectMappingThrows(const std::string& bytes) {
+  std::vector<pll::LabelEntry> aligned((bytes.size() + 15) / 16 + 1);
+  std::memcpy(aligned.data(), bytes.data(), bytes.size());
+  EXPECT_THROW((void)pll::ValidateV2Mapping(
+                   reinterpret_cast<const char*>(aligned.data()),
+                   bytes.size()),
+               std::runtime_error);
+}
+
+void ExpectBothLoadersThrow(const std::string& bytes) {
+  EXPECT_THROW(LoadIndexBytes(bytes), std::runtime_error);
+  ExpectMappingThrows(bytes);
+}
+
+TEST(CorruptIndexV2, RoundTripLoadsThroughBothPaths) {
+  const pll::Index index = MakeManifestedIndex();
+  const std::string bytes = V2Bytes(index);
+  const pll::Index loaded = LoadIndexBytes(bytes);
+  EXPECT_EQ(loaded.Store(), index.Store());
+
+  std::vector<pll::LabelEntry> aligned((bytes.size() + 15) / 16 + 1);
+  std::memcpy(aligned.data(), bytes.data(), bytes.size());
+  const pll::V2View view = pll::ValidateV2Mapping(
+      reinterpret_cast<const char*>(aligned.data()), bytes.size());
+  EXPECT_EQ(view.header.num_vertices, index.NumVertices());
+  EXPECT_EQ(view.manifest.graph_fingerprint,
+            index.Manifest().graph_fingerprint);
+}
+
+TEST(CorruptIndexV2, BadMagicThrows) {
+  std::string bytes = V2Bytes(MakeManifestedIndex());
+  bytes[0] ^= 0x5a;
+  // A broken v2 magic demotes Index::Load to the v1 path, which must then
+  // reject the bytes; the mapping validator rejects the magic directly.
+  ExpectBothLoadersThrow(bytes);
+}
+
+TEST(CorruptIndexV2, UnsupportedVersionThrows) {
+  std::string bytes = V2Bytes(MakeManifestedIndex());
+  Patch<std::uint32_t>(bytes, kV2Version, 3);
+  ExpectBothLoadersThrow(bytes);
+}
+
+TEST(CorruptIndexV2, MisalignedRegionThrows) {
+  // Knocking the entries region off its 16-byte alignment must fail the
+  // geometry check, never produce misaligned LabelEntry pointers.
+  std::string bytes = V2Bytes(MakeManifestedIndex());
+  Patch<std::uint64_t>(bytes, kV2EntriesPos,
+                       Peek<std::uint64_t>(bytes, kV2EntriesPos) + 8);
+  ExpectBothLoadersThrow(bytes);
+
+  std::string odd_order = V2Bytes(MakeManifestedIndex());
+  Patch<std::uint64_t>(odd_order, kV2OrderPos,
+                       Peek<std::uint64_t>(odd_order, kV2OrderPos) + 1);
+  ExpectBothLoadersThrow(odd_order);
+}
+
+TEST(CorruptIndexV2, OffsetTablePastEofThrows) {
+  // A self-consistent header whose regions extend past the actual bytes:
+  // the declared size must be checked against reality before any region
+  // is read (heap) or dereferenced (mapping).
+  std::string bytes = V2Bytes(MakeManifestedIndex());
+  constexpr std::uint64_t kShift = 1 << 20;
+  for (const std::size_t field :
+       {kV2OffsetsPos, kV2EntriesPos, kV2FileBytes}) {
+    Patch<std::uint64_t>(bytes, field,
+                         Peek<std::uint64_t>(bytes, field) + kShift);
+  }
+  ExpectBothLoadersThrow(bytes);
+}
+
+TEST(CorruptIndexV2, EveryTruncationThrows) {
+  const pll::Index index = MakeManifestedIndex();
+  const std::string bytes = V2Bytes(index);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(LoadIndexBytes(bytes.substr(0, len)), std::runtime_error)
+        << "v2 prefix of " << len << " bytes parsed";
+  }
+  // The mapped path sees the same truncations (sampled: the O(size^2)
+  // full sweep above already covers the stream reader's byte positions).
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{79}, std::size_t{80},
+        bytes.size() / 2, bytes.size() - 1}) {
+    ExpectMappingThrows(bytes.substr(0, cut));
+  }
+}
+
+TEST(CorruptIndexV2, MissingSentinelAtRowEndThrows) {
+  const pll::Index index = MakeManifestedIndex();
+  std::string bytes = V2Bytes(index);
+  const auto entries_pos = Peek<std::uint64_t>(bytes, kV2EntriesPos);
+  const auto offsets_pos = Peek<std::uint64_t>(bytes, kV2OffsetsPos);
+  // offsets[1] is the sentinel-inclusive end of row 0; overwrite that
+  // sentinel's hub with a plausible vertex id.
+  const auto row_end = Peek<std::uint64_t>(
+      bytes, static_cast<std::size_t>(offsets_pos) + sizeof(std::uint64_t));
+  const std::size_t sentinel_hub =
+      static_cast<std::size_t>(entries_pos) +
+      static_cast<std::size_t>(row_end - 1) * sizeof(pll::LabelEntry);
+  Patch<graph::VertexId>(bytes, sentinel_hub, 0);
+  ExpectBothLoadersThrow(bytes);
+}
+
+TEST(CorruptIndexV2, NonMonotonicOffsetTableThrows) {
+  std::string bytes = V2Bytes(MakeManifestedIndex());
+  const auto offsets_pos =
+      static_cast<std::size_t>(Peek<std::uint64_t>(bytes, kV2OffsetsPos));
+  Patch<std::uint64_t>(bytes, offsets_pos + 2 * sizeof(std::uint64_t), 0);
+  ExpectBothLoadersThrow(bytes);
+}
+
+TEST(CorruptIndexV2, NonPermutationOrderThrows) {
+  const pll::Index index = MakeManifestedIndex();
+  std::string bytes = V2Bytes(index);
+  const auto order_pos =
+      static_cast<std::size_t>(Peek<std::uint64_t>(bytes, kV2OrderPos));
+  Patch<graph::VertexId>(
+      bytes, order_pos,
+      Peek<graph::VertexId>(bytes, order_pos + sizeof(graph::VertexId)));
+  ExpectBothLoadersThrow(bytes);
+}
+
+TEST(CorruptIndexV2, HugeDeclaredVertexCountThrows) {
+  std::string bytes = V2Bytes(MakeManifestedIndex());
+  Patch<std::uint64_t>(bytes, kV2NumVertices, std::uint64_t{1} << 56);
+  ExpectBothLoadersThrow(bytes);
+}
+
+TEST(CorruptIndexV2, EmbeddedManifestVertexMismatchThrows) {
+  const pll::Index index = MakeManifestedIndex();
+  std::string bytes = V2Bytes(index);
+  // Embedded manifest starts at byte 80; its num_vertices field sits at
+  // manifest offset 20 (see the v1 manifest layout above).
+  Patch<std::uint64_t>(bytes, pll::kIndexV2HeaderBytes + 20,
+                       index.NumVertices() + 5);
+  ExpectBothLoadersThrow(bytes);
+}
+
+// The documented split: in-row hub order is the heap loader's check. The
+// mapping validator's O(n) pass accepts the row (memory-safe: sentinel
+// still terminates the merge) while ReadIndexV2 rejects it.
+TEST(CorruptIndexV2, UnsortedHubsRejectedByHeapLoaderOnly) {
+  const pll::Index index = MakeManifestedIndex();
+  std::string bytes = V2Bytes(index);
+  const auto entries_pos =
+      static_cast<std::size_t>(Peek<std::uint64_t>(bytes, kV2EntriesPos));
+  const auto offsets_pos =
+      static_cast<std::size_t>(Peek<std::uint64_t>(bytes, kV2OffsetsPos));
+  // Find a row with >= 2 real entries (sentinel-inclusive length >= 3).
+  for (graph::VertexId v = 0; v < index.NumVertices(); ++v) {
+    const auto lo = Peek<std::uint64_t>(
+        bytes, offsets_pos + static_cast<std::size_t>(v) * 8);
+    const auto hi = Peek<std::uint64_t>(
+        bytes, offsets_pos + static_cast<std::size_t>(v + 1) * 8);
+    if (hi - lo < 3) {
+      continue;
+    }
+    const std::size_t first =
+        entries_pos + static_cast<std::size_t>(lo) * sizeof(pll::LabelEntry);
+    Patch<graph::VertexId>(bytes, first + sizeof(pll::LabelEntry),
+                           Peek<graph::VertexId>(bytes, first));
+    EXPECT_THROW(LoadIndexBytes(bytes), std::runtime_error);
+    std::vector<pll::LabelEntry> aligned((bytes.size() + 15) / 16 + 1);
+    std::memcpy(aligned.data(), bytes.data(), bytes.size());
+    EXPECT_NO_THROW((void)pll::ValidateV2Mapping(
+        reinterpret_cast<const char*>(aligned.data()), bytes.size()));
+    return;
+  }
+  FAIL() << "test graph produced no row with two entries";
+}
+
+#if PARAPLL_HAVE_MMAP
+// The full file path: MmapLabelStore::Open must reject a corrupt file
+// with a recoverable error, and never serve pointers into it.
+TEST(CorruptIndexV2, MmapOpenRejectsCorruptFile) {
+  const std::string path = ::testing::TempDir() + "parapll_corrupt_v2." +
+                           std::to_string(::getpid()) + ".idx";
+  std::string bytes = V2Bytes(MakeManifestedIndex());
+  bytes[kV2Version] = 3;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)pll::MmapLabelStore::Open(path), std::runtime_error);
+  EXPECT_THROW((void)pll::PagedLabelStore::Open(path, 1 << 20),
+               std::runtime_error);
+  EXPECT_THROW((void)pll::MmapLabelStore::Open(path + ".missing"),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+#endif  // PARAPLL_HAVE_MMAP
 
 // Serve-frame hardening: request and response payloads arrive from a TCP
 // socket, so they get the same treatment as index bytes — every

@@ -71,6 +71,66 @@ TEST(LabelStoreTest, AvgLabelSizeAndMemory) {
   EXPECT_GT(store.MemoryBytes(), 6 * sizeof(LabelEntry));
 }
 
+// MemoryBytes must report *capacity* bytes — what the process actually
+// holds — not the smaller size-based figure that undercounted before the
+// store.memory_bytes gauge relied on it. Moved-in vectors keep their
+// capacity, so an over-reserved FromFlat input pins the distinction.
+TEST(LabelStoreTest, MemoryBytesReportsCapacityNotSize) {
+  std::vector<std::size_t> offsets = {0, 2};
+  std::vector<LabelEntry> entries = {
+      {1, 4}, {graph::kInvalidVertex, graph::kInfiniteDistance}};
+  offsets.reserve(64);
+  entries.reserve(128);
+  const std::size_t offsets_capacity = offsets.capacity();
+  const std::size_t entries_capacity = entries.capacity();
+  const LabelStore store =
+      LabelStore::FromFlat(std::move(offsets), std::move(entries));
+  EXPECT_EQ(store.MemoryBytes(),
+            offsets_capacity * sizeof(std::size_t) +
+                entries_capacity * sizeof(LabelEntry));
+  EXPECT_GT(store.MemoryBytes(),
+            2 * sizeof(std::size_t) + 2 * sizeof(LabelEntry));
+}
+
+TEST(LabelStoreTest, FromFlatMatchesFromRows) {
+  std::vector<std::vector<LabelEntry>> rows(2);
+  rows[0] = {{0, 0}, {7, 4}};
+  rows[1] = {{1, 0}, {7, 6}};
+  const LabelStore want = LabelStore::FromRows(std::move(rows));
+  // The physical layout FromFlat consumes: sentinel-terminated rows with
+  // sentinel-inclusive offsets — exactly what format v2 stores on disk.
+  const LabelEntry sentinel{graph::kInvalidVertex, graph::kInfiniteDistance};
+  const LabelStore got = LabelStore::FromFlat(
+      {0, 3, 6}, {{0, 0}, {7, 4}, sentinel, {1, 0}, {7, 6}, sentinel});
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(got.Query(0, 1), 10u);
+}
+
+TEST(LabelStoreTest, FromFlatRejectsBrokenInvariants) {
+  const LabelEntry sentinel{graph::kInvalidVertex, graph::kInfiniteDistance};
+  // Missing sentinel at a row end.
+  EXPECT_THROW(
+      LabelStore::FromFlat({0, 2}, {{0, 1}, {1, 2}}), std::runtime_error);
+  // Offsets not starting at zero / not covering the entries.
+  EXPECT_THROW(LabelStore::FromFlat({1, 2}, {{0, 1}, sentinel}),
+               std::runtime_error);
+  EXPECT_THROW(LabelStore::FromFlat({0, 1}, {sentinel, sentinel}),
+               std::runtime_error);
+  // Empty row: offsets must still advance past a sentinel.
+  EXPECT_THROW(LabelStore::FromFlat({0, 0}, {}), std::runtime_error);
+  // Unsorted / duplicate hubs inside a row.
+  EXPECT_THROW(
+      LabelStore::FromFlat({0, 3}, {{5, 1}, {2, 3}, sentinel}),
+      std::runtime_error);
+  EXPECT_THROW(
+      LabelStore::FromFlat({0, 3}, {{2, 1}, {2, 3}, sentinel}),
+      std::runtime_error);
+  // A sentinel hub mid-row is corruption, not an early terminator.
+  EXPECT_THROW(
+      LabelStore::FromFlat({0, 3}, {{2, 1}, sentinel, sentinel}),
+      std::runtime_error);
+}
+
 TEST(LabelStoreTest, SerializeRoundTrip) {
   std::vector<std::vector<LabelEntry>> rows(3);
   rows[0] = {{0, 0}};

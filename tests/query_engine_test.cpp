@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -142,6 +143,22 @@ TEST(QueryEngineTest, LargeShardedBatchMatchesPerCall) {
     ASSERT_EQ(got[i], index.Query(pairs[i].first, pairs[i].second))
         << "pair " << i;
   }
+}
+
+// The pluggable-source ctor (shared ownership of a LabelSource + vertex
+// order) must answer exactly like the legacy Index ctor — it is the same
+// engine the daemon builds over mmap/paged backends.
+TEST(QueryEngineTest, SourceCtorMatchesIndexCtor) {
+  const Graph g = graph::ErdosRenyi(100, 300, kUniform, 37);
+  auto owner = std::make_shared<pll::Index>(BuildTestIndex(g));
+  const std::shared_ptr<const pll::LabelSource> source(owner,
+                                                       &owner->Store());
+  QueryEngine engine(source, owner->Order(),
+                     {.threads = 2, .min_pairs_per_shard = 16});
+  EXPECT_EQ(&engine.Source(), &owner->Store());
+  EXPECT_EQ(engine.NumVertices(), owner->NumVertices());
+  const auto pairs = RandomPairs(g.NumVertices(), 500, 41);
+  EXPECT_EQ(engine.QueryBatch(pairs), QueryEngine(*owner).QueryBatch(pairs));
 }
 
 // A persistent engine answers many consecutive batches (the serving

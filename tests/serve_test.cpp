@@ -21,7 +21,10 @@
 #include "build/artifact.hpp"
 #include "build/pipeline.hpp"
 #include "graph/generators.hpp"
+#include "pll/format_v2.hpp"
+#include "pll/mmap_store.hpp"
 #include "pll/serial_pll.hpp"
+#include "pll/servable.hpp"
 #include "query/query_engine.hpp"
 #include "serve/frame.hpp"
 #include "serve/loadgen.hpp"
@@ -598,6 +601,141 @@ TEST(QueryServerTest, StopIsIdempotentAndRestartable) {
   EXPECT_EQ(client.Info().num_vertices, g.NumVertices());
   server.Stop();
 }
+
+#if PARAPLL_HAVE_MMAP
+
+std::string BackendTempPath(const char* name) {
+  return ::testing::TempDir() + "parapll_serve_backend_" + name + "." +
+         std::to_string(::getpid()) + ".idx";
+}
+
+// The daemon's answers must be bit-identical no matter which LabelSource
+// backend the served snapshot sits on.
+TEST(QueryServerTest, ServesIdenticallyFromEveryBackend) {
+  const Graph g = graph::ErdosRenyi(90, 270, {WeightModel::kUniform, 9}, 61);
+  const build::BuildOutcome built = build::Run(g, {});
+  const std::string path = BackendTempPath("matrix");
+  built.artifact.Save(path, pll::kIndexFormatV2);
+
+  const auto pairs = RandomPairs(g.NumVertices(), 64, 71);
+  const std::vector<graph::Distance> want =
+      query::QueryEngine(built.artifact.index).QueryBatch(pairs);
+
+  for (const pll::StoreBackend backend :
+       {pll::StoreBackend::kHeap, pll::StoreBackend::kMmap,
+        pll::StoreBackend::kPaged}) {
+    SCOPED_TRACE(pll::ToString(backend));
+    pll::ServableIndex servable =
+        pll::ServableIndex::Load(path, backend, /*cache_bytes=*/1 << 16);
+    EXPECT_EQ(servable.backend, backend);
+    QueryServer server(std::move(servable), {});
+    server.Start();
+    ServeClient client;
+    client.Connect(server.Port());
+    const Response response = client.Distance(pairs);
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    EXPECT_EQ(response.distances, want);
+    server.Stop();
+  }
+  std::remove(path.c_str());
+}
+
+// Hot swap on a zero-copy backend: the republished v2 file must flip in
+// under live traffic without failing a query — the old mapping may only
+// be unmapped after in-flight batches drain (a use-after-unmap here is a
+// crash, which is exactly what this test would catch).
+TEST(QueryServerTest, HotSwapUnderTrafficOnZeroCopyBackends) {
+  const Graph g1 =
+      graph::ErdosRenyi(80, 240, {WeightModel::kUniform, 9}, 301);
+  const Graph g2 =
+      graph::ErdosRenyi(80, 260, {WeightModel::kUniform, 9}, 302);
+  for (const pll::StoreBackend backend :
+       {pll::StoreBackend::kMmap, pll::StoreBackend::kPaged}) {
+    SCOPED_TRACE(pll::ToString(backend));
+    const std::string path = BackendTempPath(pll::ToString(backend));
+    build::Run(g1, {}).artifact.Save(path, pll::kIndexFormatV2);
+
+    ServeOptions options;
+    options.watch_path = path;
+    options.watch_poll_ms = 20;
+    options.backend = backend;
+    options.cache_bytes = 1 << 16;
+    QueryServer server(
+        pll::ServableIndex::Load(path, backend, options.cache_bytes),
+        options);
+    server.Start();
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> answered{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::thread traffic([&] {
+      try {
+        ServeClient client;
+        client.Connect(server.Port());
+        const auto pairs = RandomPairs(80, 16, 77);
+        while (!stop.load()) {
+          const Response response = client.Distance(pairs);
+          if (response.status == ResponseStatus::kOk &&
+              response.distances.size() == pairs.size()) {
+            answered.fetch_add(1);
+          } else {
+            failed.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        failed.fetch_add(1);
+      }
+    });
+
+    build::Run(g2, {}).artifact.Save(path, pll::kIndexFormatV2);
+    ServeClient prober;
+    prober.Connect(server.Port());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    std::uint64_t swaps = 0;
+    while (swaps == 0 && std::chrono::steady_clock::now() < deadline) {
+      swaps = prober.Info().hot_swaps;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stop.store(true);
+    traffic.join();
+
+    EXPECT_EQ(swaps, 1u);
+    EXPECT_EQ(failed.load(), 0u);
+    EXPECT_GT(answered.load(), 0u);
+    EXPECT_EQ(server.Stats().reload_errors, 0u);
+    server.Stop();
+    std::remove(path.c_str());
+  }
+}
+
+// A v1 republish under a zero-copy watcher falls back to the heap loader
+// (with a warning) instead of erroring the reload away.
+TEST(QueryServerTest, ZeroCopyBackendFallsBackToHeapOnV1File) {
+  const Graph g = graph::ErdosRenyi(50, 150, {WeightModel::kUniform, 9}, 88);
+  const build::BuildOutcome built = build::Run(g, {});
+  const std::string path = BackendTempPath("fallback");
+  built.artifact.Save(path);  // v1 container
+
+  pll::ServableIndex servable =
+      pll::ServableIndex::Load(path, pll::StoreBackend::kMmap);
+  EXPECT_EQ(servable.backend, pll::StoreBackend::kHeap);
+  EXPECT_EQ(servable.format_version, pll::kIndexFormatV1);
+
+  QueryServer server(std::move(servable), {});
+  server.Start();
+  ServeClient client;
+  client.Connect(server.Port());
+  const auto pairs = RandomPairs(g.NumVertices(), 16, 5);
+  const Response response = client.Distance(pairs);
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.distances,
+            query::QueryEngine(built.artifact.index).QueryBatch(pairs));
+  server.Stop();
+  std::remove(path.c_str());
+}
+
+#endif  // PARAPLL_HAVE_MMAP
 
 #endif  // PARAPLL_HAVE_SOCKETS
 

@@ -24,9 +24,10 @@
 #include <string>
 #include <vector>
 
-#include "build/artifact.hpp"
 #include "build/checkpoint.hpp"
 #include "core/parapll.hpp"
+#include "pll/format_v2.hpp"
+#include "pll/servable.hpp"
 #include "obs/profiler.hpp"
 #include "obs/rolling.hpp"
 #include "serve/loadgen.hpp"
@@ -40,25 +41,31 @@ using namespace parapll;
 // /healthz identity: which index this process is serving. Called from the
 // loading funnel and after a fresh build, so a long-lived process behind
 // --stats-port always reports the manifest it answers from.
-void PublishHealthInfo(const pll::Index& index) {
-  const pll::BuildManifest& manifest = index.Manifest();
+void PublishHealthInfo(const pll::BuildManifest& manifest,
+                       graph::VertexId num_vertices) {
   obs::HealthInfo info;
   info.index_fingerprint = manifest.graph_fingerprint;
   info.index_format_version = manifest.format_version;
   info.index_mode = manifest.mode.empty() ? "unknown" : manifest.mode;
-  info.num_vertices = index.NumVertices();
+  info.num_vertices = num_vertices;
   info.roots_completed = manifest.roots_completed;
   obs::SetProcessHealthInfo(info);
 }
 
+void PublishHealthInfo(const pll::Index& index) {
+  PublishHealthInfo(index.Manifest(), index.NumVertices());
+}
+
 int Usage() {
   std::fputs(
-      "usage: parapll_cli <generate|build|query|stats|verify|query-bench|"
-      "serve|serve-bench> [flags]\n"
+      "usage: parapll_cli <generate|build|query|stats|verify|convert|"
+      "query-bench|serve|serve-bench> [flags]\n"
       "  generate --dataset NAME --scale S --seed K --out FILE\n"
       "  build    --graph FILE --mode serial|parallel|simulated|cluster\n"
       "           --threads P --nodes Q --sync C --policy static|dynamic\n"
-      "           --out FILE [--compact]\n"
+      "           --out FILE [--compact] [--index-format 1|2]\n"
+      "           (format 2 is the 16-byte-aligned mmap-able container\n"
+      "           that serve --mmap / --cache-mb map zero-copy)\n"
       "           [--checkpoint-dir D [--checkpoint-every K]] write a\n"
       "           resumable snapshot to D/checkpoint.bin every K roots\n"
       "           (and on SIGINT/SIGTERM); serial/parallel modes only\n"
@@ -67,13 +74,21 @@ int Usage() {
       "  query    --index FILE [--compact] [-s S -t T]  (else stdin pairs)\n"
       "  stats    --index FILE [--compact]\n"
       "  verify   --index FILE [--compact] --graph FILE --pairs N\n"
+      "  convert  --index FILE [--compact] --out FILE --index-format 1|2\n"
+      "           rewrite an index into another container format\n"
       "  query-bench --index FILE [--compact] --pairs N [--pair-file F]\n"
       "           --threads P --batch B   (batched vs per-call throughput)\n"
+      "           [--backend heap|mmap|paged [--cache-bytes B]] answer the\n"
+      "           batched pass from another label source; distances are\n"
+      "           verified against the heap per-call baseline\n"
       "  serve    --index FILE [--port N] [--threads P] [--watch]\n"
       "           [--max-queued-pairs Q] [--idle-timeout-ms T]\n"
       "           [--port-file F]   TCP daemon answering DISTANCE_QUERY\n"
       "           frames (see EXPERIMENTS.md); --watch hot-swaps the\n"
       "           engine when the index file is republished\n"
+      "           [--mmap | --cache-mb M] zero-copy map a format-v2 index,\n"
+      "           or bound label memory with an M-MB hot-row cache; v1\n"
+      "           files fall back to the heap loader with a warning\n"
       "           [--request-log FILE [--request-log-sample N]] wide-event\n"
       "           JSONL, one record per request (tail-sampled); also at\n"
       "           /debug/requests with --stats-port\n"
@@ -178,14 +193,26 @@ int CmdBuild(util::ArgParser& args) {
     }
   }
   const std::string out = args.GetString("out");
+  const auto format =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(
+          args.GetInt("index-format"), 1));
   if (args.GetBool("compact")) {
+    if (format != pll::kIndexFormatV1) {
+      std::fprintf(stderr, "--compact only supports --index-format 1\n");
+      return 1;
+    }
     std::ofstream stream(out, std::ios::binary);
     if (!stream) {
       throw std::runtime_error("cannot open " + out);
     }
     pll::WriteCompactIndex(index, stream);
-  } else {
+  } else if (format == pll::kIndexFormatV2) {
+    pll::WriteIndexV2File(index, out);
+  } else if (format == pll::kIndexFormatV1) {
     index.SaveFile(out);
+  } else {
+    std::fprintf(stderr, "unknown --index-format %u\n", format);
+    return 1;
   }
   if (report.complete) {
     std::printf("indexed n=%u in %s: LN=%.1f, %zu entries -> %s\n",
@@ -267,6 +294,34 @@ int CmdVerify(util::ArgParser& args) {
   return verdict.Ok() ? 0 : 1;
 }
 
+// Rewrites an index into another container format — chiefly v1 -> v2 so
+// an existing artifact can be served with --mmap / --cache-mb without a
+// rebuild. Loading funnels through Index::LoadFile, so either input
+// format (or --compact) converts to either output format.
+int CmdConvert(util::ArgParser& args) {
+  const std::string out = args.GetString("out");
+  if (args.GetString("index").empty() || out.empty()) {
+    std::fprintf(stderr, "convert: --index and --out are required\n");
+    return 1;
+  }
+  const pll::Index index =
+      LoadIndex(args.GetString("index"), args.GetBool("compact"));
+  const auto format = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(args.GetInt("index-format"), 1));
+  if (format == pll::kIndexFormatV2) {
+    pll::WriteIndexV2File(index, out);
+  } else if (format == pll::kIndexFormatV1) {
+    index.SaveFile(out);
+  } else {
+    std::fprintf(stderr, "unknown --index-format %u\n", format);
+    return 1;
+  }
+  std::printf("converted %s (n=%u, %zu entries) -> %s (format v%u)\n",
+              args.GetString("index").c_str(), index.NumVertices(),
+              index.TotalEntries(), out.c_str(), format);
+  return 0;
+}
+
 // Serving-style benchmark against a saved index: answers the same pairs
 // per-call and through QueryEngine::QueryBatch, verifies the distances
 // are identical, and prints both throughputs.
@@ -330,14 +385,44 @@ int CmdQueryBench(util::ArgParser& args) {
         std::max<std::int64_t>(args.GetInt("slow-query-sample"), 0));
     slow_log = std::make_unique<query::SlowQueryLog>(slow_path, slow_options);
   }
-  query::QueryEngine engine(index,
-                            {.threads = threads, .slow_log = slow_log.get()});
+  // --backend picks where the batched engine's label rows live; the
+  // per-call baseline above always answered from the heap index, so the
+  // mismatch check doubles as a cross-backend equivalence check.
+  const pll::StoreBackend backend =
+      pll::StoreBackendFromString(args.GetString("backend"));
+  const query::QueryEngineOptions engine_options{
+      .threads = threads, .slow_log = slow_log.get()};
+  std::unique_ptr<query::QueryEngine> engine;
+  pll::ServableIndex servable;  // owns the zero-copy source, if any
+  if (backend == pll::StoreBackend::kHeap) {
+    engine = std::make_unique<query::QueryEngine>(index, engine_options);
+  } else {
+    if (args.GetBool("compact")) {
+      std::fprintf(stderr, "--backend %s needs a non-compact index file\n",
+                   ToString(backend));
+      return 1;
+    }
+    auto cache_bytes = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.GetInt("cache-bytes"), 0));
+    if (backend == pll::StoreBackend::kPaged && cache_bytes == 0) {
+      // Default paged budget: ¼ of the on-disk index (the memory-budget
+      // point tools/bench_snapshot.sh measures).
+      std::ifstream in(args.GetString("index"),
+                       std::ios::binary | std::ios::ate);
+      cache_bytes = static_cast<std::size_t>(
+          std::max<std::streamoff>(in.tellg(), 4096) / 4);
+    }
+    servable = pll::ServableIndex::Load(args.GetString("index"), backend,
+                                        cache_bytes);
+    engine = std::make_unique<query::QueryEngine>(
+        servable.source, servable.order, engine_options);
+  }
   std::vector<graph::Distance> got(pairs.size());
   util::WallTimer batched;
   for (std::size_t begin = 0; begin < pairs.size(); begin += batch) {
     const std::size_t size = std::min(batch, pairs.size() - begin);
-    engine.QueryBatch(std::span(pairs).subspan(begin, size),
-                      std::span(got).subspan(begin, size));
+    engine->QueryBatch(std::span(pairs).subspan(begin, size),
+                       std::span(got).subspan(begin, size));
   }
   const double batched_seconds = batched.Seconds();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
@@ -360,6 +445,26 @@ int CmdQueryBench(util::ArgParser& args) {
               batched_qps / 1e6, threads, batch);
   std::printf("speedup:    %.2fx; all distances matched per-call Query\n",
               batched_qps / per_call_qps);
+  if (backend != pll::StoreBackend::kHeap) {
+    std::printf("backend:    %s (%.2f MB on disk, loaded in %s)\n",
+                ToString(backend),
+                static_cast<double>(servable.file_bytes) / (1024.0 * 1024.0),
+                util::FormatDuration(servable.load_seconds).c_str());
+    const pll::LabelSource::CacheStats stats = engine->Source().Cache();
+    if (stats.valid) {
+      const std::uint64_t lookups = stats.hits + stats.misses;
+      std::printf("row cache:  %llu hits / %llu misses (%.1f%% hit rate), "
+                  "%llu evictions, %.2f MB resident\n",
+                  static_cast<unsigned long long>(stats.hits),
+                  static_cast<unsigned long long>(stats.misses),
+                  lookups == 0 ? 0.0
+                               : 100.0 * static_cast<double>(stats.hits) /
+                                     static_cast<double>(lookups),
+                  static_cast<unsigned long long>(stats.evictions),
+                  static_cast<double>(stats.resident_bytes) /
+                      (1024.0 * 1024.0));
+    }
+  }
   if (slow_log != nullptr) {
     slow_log->Flush();
     std::printf("slow-query log: %llu of %llu queries -> %s\n",
@@ -381,15 +486,38 @@ int CmdServe(util::ArgParser& args) {
     std::fprintf(stderr, "serve: --index is required\n");
     return 1;
   }
-  build::IndexArtifact artifact = build::IndexArtifact::Load(path);
-  if (artifact.IsCheckpoint()) {
+  serve::ServeOptions options;
+  // --mmap serves straight from the mapped v2 container; --cache-mb > 0
+  // bounds resident label memory with the paged row cache instead.
+  const bool use_mmap = args.GetBool("mmap");
+  const auto cache_mb = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.GetInt("cache-mb"), 0));
+  if (use_mmap && cache_mb > 0) {
+    std::fprintf(stderr, "serve: --mmap and --cache-mb are exclusive\n");
+    return 1;
+  }
+  if (use_mmap) {
+    options.backend = pll::StoreBackend::kMmap;
+  } else if (cache_mb > 0) {
+    options.backend = pll::StoreBackend::kPaged;
+    options.cache_bytes = cache_mb << 20;
+  }
+
+  pll::ServableIndex servable =
+      pll::ServableIndex::Load(path, options.backend, options.cache_bytes);
+  if (!servable.IsComplete()) {
     std::fprintf(stderr, "serve: %s is a partial checkpoint, not an index\n",
                  path.c_str());
     return 1;
   }
-  PublishHealthInfo(artifact.index);
+  if (servable.manifest == pll::BuildManifest{} &&
+      servable.NumVertices() != 0) {
+    std::fprintf(stderr, "serve: %s has no build manifest\n", path.c_str());
+    return 1;
+  }
+  servable.manifest.Validate();
+  PublishHealthInfo(servable.manifest, servable.NumVertices());
 
-  serve::ServeOptions options;
   options.port = static_cast<std::uint16_t>(
       std::max<std::int64_t>(args.GetInt("port"), 0));
   options.engine_threads = static_cast<std::size_t>(
@@ -435,7 +563,7 @@ int CmdServe(util::ArgParser& args) {
     slo_gauges.emplace(slo_options);
   }
 
-  serve::QueryServer server(std::move(artifact.index), options);
+  serve::QueryServer server(std::move(servable), options);
   server.Start();
   std::fprintf(stderr, "serving distance queries on 127.0.0.1:%u%s\n",
                server.Port(),
@@ -524,6 +652,15 @@ int main(int argc, char** argv) {
       .Flag("resume", "", "continue from checkpoint directory (build)")
       .Flag("halt-after", "0", "stop after N roots, 0 = run all (build)")
       .Flag("compact", "false", "use varint index format")
+      .Flag("index-format", "1",
+            "build/convert: container format (1 = streamed, 2 = mmap-able)")
+      .Flag("backend", "heap",
+            "query-bench: label source backend (heap|mmap|paged)")
+      .Flag("cache-bytes", "0",
+            "query-bench: paged row-cache budget bytes (0 = 1/4 file size)")
+      .Flag("mmap", "false", "serve: zero-copy mmap the index (format v2)")
+      .Flag("cache-mb", "0",
+            "serve: paged row-cache budget MB (> 0 selects paged backend)")
       .Flag("pairs", "500", "pair count (verify/query-bench)")
       .Flag("pair-file", "", "file of 's t' pairs (query-bench)")
       .Flag("batch", "8192", "pairs per QueryBatch call (query-bench)")
@@ -690,6 +827,8 @@ int main(int argc, char** argv) {
       code = CmdStats(args);
     } else if (command == "verify") {
       code = CmdVerify(args);
+    } else if (command == "convert") {
+      code = CmdConvert(args);
     } else if (command == "query-bench") {
       code = CmdQueryBench(args);
     } else if (command == "serve") {
