@@ -1,0 +1,40 @@
+// Writes the seed corpora (tests/corrupt_cases.cpp, the same builders
+// the corruption gtests use) to fuzz/corpus/<target>/<case-name> files.
+//
+//   ./export_corpus [corpus-root]     (default: fuzz/corpus)
+//
+// Run from the repo root after changing a decoder format or adding a
+// SeedCase, then commit the result — the committed files are what CI's
+// fuzz-smoke job and fuzz_regression_test replay.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "corrupt_cases.hpp"
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  const fs::path root = argc > 1 ? argv[1] : "fuzz/corpus";
+
+  std::size_t files = 0;
+  for (const auto& target : parapll::corpus::AllSeedTargets()) {
+    const fs::path dir = root / target.target;
+    fs::create_directories(dir);
+    for (const auto& seed : target.cases) {
+      std::ofstream out(dir / seed.name, std::ios::binary | std::ios::trunc);
+      out.write(seed.bytes.data(),
+                static_cast<std::streamsize>(seed.bytes.size()));
+      if (!out) {
+        std::fprintf(stderr, "export_corpus: cannot write %s\n",
+                     (dir / seed.name).c_str());
+        return 1;
+      }
+      ++files;
+    }
+  }
+  std::printf("export_corpus: wrote %zu seed files under %s\n", files,
+              root.c_str());
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz target: cluster::DecodeUpdates. The wire format is canonical
+// (little-endian PODs, exact length), so every accepted payload must
+// re-encode byte-identically — including a NaN node clock, whose bits
+// travel verbatim.
+#include <stdexcept>
+
+#include "cluster/wire.hpp"
+#include "harness_util.hpp"
+
+extern "C" int PARAPLL_FUZZ_ENTRY(const std::uint8_t* data,
+                                  std::size_t size) {
+  using parapll::fuzz::Violate;
+
+  const parapll::cluster::Payload payload(data, data + size);
+  parapll::cluster::DecodedUpdates decoded;
+  try {
+    decoded = parapll::cluster::DecodeUpdates(payload);
+  } catch (const std::runtime_error&) {
+    return 0;
+  }
+  const parapll::cluster::Payload reencoded =
+      parapll::cluster::EncodeUpdates(decoded.node_clock, decoded.updates);
+  if (reencoded != payload) {
+    Violate("cluster wire re-encode differs from accepted payload");
+  }
+  return 0;
+}

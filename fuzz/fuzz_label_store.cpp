@@ -1,0 +1,65 @@
+// Fuzz target: LabelStore::Deserialize and the v1 Index::Load container
+// (optional manifest + store + order) over arbitrary bytes.
+//
+// Accepted stores must round-trip (Serialize |> Deserialize == store)
+// and must be safe to query: Deserialize's acceptance implies sorted,
+// sentinel-terminated rows, so QuerySentinel must terminate without
+// reading out of bounds.
+#include <stdexcept>
+
+#include "harness_util.hpp"
+#include "pll/index.hpp"
+#include "pll/label_store.hpp"
+
+namespace {
+
+using parapll::fuzz::AsStream;
+using parapll::fuzz::Violate;
+
+void DriveStore(const std::uint8_t* data, std::size_t size) {
+  parapll::pll::LabelStore store;
+  try {
+    auto in = AsStream(data, size);
+    store = parapll::pll::LabelStore::Deserialize(in);
+  } catch (const std::runtime_error&) {
+    return;  // rejection is the expected path
+  }
+  const auto n = store.NumVertices();
+  if (n > 0) {
+    (void)store.Query(0, n - 1);
+    (void)store.Query(n - 1, n - 1);
+  }
+  std::ostringstream out(std::ios::binary);
+  store.Serialize(out);
+  std::istringstream in2(out.str(), std::ios::binary);
+  try {
+    if (!(parapll::pll::LabelStore::Deserialize(in2) == store)) {
+      Violate("label store round-trip changed the store");
+    }
+  } catch (const std::runtime_error&) {
+    Violate("label store rejected its own serialization");
+  }
+}
+
+void DriveIndex(const std::uint8_t* data, std::size_t size) {
+  parapll::pll::Index index;
+  try {
+    auto in = AsStream(data, size);
+    index = parapll::pll::Index::Load(in);
+  } catch (const std::runtime_error&) {
+    return;
+  }
+  const auto n = index.NumVertices();
+  if (n > 0) {
+    (void)index.Query(0, n - 1);  // Load validated the order permutation
+  }
+}
+
+}  // namespace
+
+extern "C" int PARAPLL_FUZZ_ENTRY(const std::uint8_t* data,
+                                  std::size_t size) {
+  DriveStore(data, size);
+  DriveIndex(data, size);
+  return 0;
+}

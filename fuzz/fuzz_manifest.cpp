@@ -1,0 +1,39 @@
+// Fuzz target: BuildManifest::Deserialize.
+//
+// Accepted manifests must re-serialize stably: Serialize is compared at
+// the byte level (not operator==) because wall_seconds travels as raw
+// double bits and may be NaN.
+#include <stdexcept>
+
+#include "harness_util.hpp"
+#include "pll/manifest.hpp"
+
+extern "C" int PARAPLL_FUZZ_ENTRY(const std::uint8_t* data,
+                                  std::size_t size) {
+  using parapll::fuzz::AsStream;
+  using parapll::fuzz::Violate;
+
+  parapll::pll::BuildManifest manifest;
+  try {
+    auto in = AsStream(data, size);
+    manifest = parapll::pll::BuildManifest::Deserialize(in);
+  } catch (const std::runtime_error&) {
+    return 0;
+  }
+
+  std::ostringstream first(std::ios::binary);
+  manifest.Serialize(first);
+  std::istringstream again(first.str(), std::ios::binary);
+  try {
+    parapll::pll::BuildManifest second =
+        parapll::pll::BuildManifest::Deserialize(again);
+    std::ostringstream rebytes(std::ios::binary);
+    second.Serialize(rebytes);
+    if (rebytes.str() != first.str()) {
+      Violate("manifest re-serialization is not byte-stable");
+    }
+  } catch (const std::runtime_error&) {
+    Violate("manifest rejected its own serialization");
+  }
+  return 0;
+}

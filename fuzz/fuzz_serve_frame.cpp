@@ -1,0 +1,91 @@
+// Fuzz target: the serving wire path — FrameReader fed one byte at a
+// time (the worst socket-read pattern), then the payload decoders.
+//
+// Round-trip invariant from the serving contract: every *decoded*
+// request or response must re-encode to a frame the decoder accepts
+// again, with the same semantic content. Decode sanitizes trace ids, so
+// re-encoding a decoded value can never throw the encoder's
+// invalid_argument.
+#include <stdexcept>
+#include <string>
+
+#include "harness_util.hpp"
+#include "serve/frame.hpp"
+
+namespace {
+
+using parapll::fuzz::Violate;
+namespace serve = parapll::serve;
+
+void DriveRequest(const std::string& payload) {
+  serve::Request request;
+  try {
+    request = serve::DecodeRequestPayload(payload);
+  } catch (const std::runtime_error&) {
+    return;
+  }
+  const std::string frame =
+      request.type == serve::RequestType::kDistanceQuery
+          ? serve::EncodeDistanceRequest(request.pairs, request.trace_id)
+          : serve::EncodeInfoRequest();
+  try {
+    const serve::Request again =
+        serve::DecodeRequestPayload(std::string_view(frame).substr(4));
+    if (again.type != request.type || again.pairs != request.pairs) {
+      Violate("request round-trip changed type or pairs");
+    }
+  } catch (const std::runtime_error&) {
+    Violate("decoder rejected a re-encoded request");
+  }
+}
+
+void DriveResponse(const std::string& payload) {
+  serve::Response response;
+  try {
+    response = serve::DecodeResponsePayload(payload);
+  } catch (const std::runtime_error&) {
+    return;
+  }
+  std::string frame;
+  switch (response.status) {
+    case serve::ResponseStatus::kOk:
+      frame = serve::EncodeOkResponse(response.distances, response.trace_id);
+      break;
+    case serve::ResponseStatus::kInfo:
+      frame = serve::EncodeInfoResponse(response.info);
+      break;
+    default:
+      frame = serve::EncodeStatusResponse(response.status, response.trace_id);
+      break;
+  }
+  try {
+    const serve::Response again =
+        serve::DecodeResponsePayload(std::string_view(frame).substr(4));
+    if (again.status != response.status ||
+        again.distances != response.distances) {
+      Violate("response round-trip changed status or distances");
+    }
+  } catch (const std::runtime_error&) {
+    Violate("decoder rejected a re-encoded response");
+  }
+}
+
+}  // namespace
+
+extern "C" int PARAPLL_FUZZ_ENTRY(const std::uint8_t* data,
+                                  std::size_t size) {
+  serve::FrameReader reader(serve::kMaxRequestPayload);
+  std::string payload;
+  try {
+    for (std::size_t i = 0; i < size; ++i) {
+      reader.Append(reinterpret_cast<const char*>(data) + i, 1);
+      while (reader.Next(payload)) {
+        DriveRequest(payload);
+        DriveResponse(payload);
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // A hostile length prefix makes the stream unframeable: expected.
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared plumbing for the libFuzzer harnesses in this directory.
+//
+// Every harness defines
+//
+//   extern "C" int PARAPLL_FUZZ_ENTRY(const std::uint8_t* data,
+//                                     std::size_t size);
+//
+// Under -fsanitize=fuzzer (the PARAPLL_FUZZERS build) the macro expands
+// to LLVMFuzzerTestOneInput, the symbol libFuzzer drives. The regular
+// test build compiles the very same sources with PARAPLL_FUZZ_ENTRY
+// renamed per target (see tests/CMakeLists.txt), so all harnesses link
+// into one ordinary gtest binary (fuzz_regression_test) that replays the
+// committed corpus through release-build decoders — no Clang required.
+//
+// Harness contract: a std::runtime_error is the *expected* rejection of
+// hostile bytes and must be swallowed; any other escape (abort, wild
+// read, uncaught exception, Violate()) is a finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#ifndef PARAPLL_FUZZ_ENTRY
+#define PARAPLL_FUZZ_ENTRY LLVMFuzzerTestOneInput
+#endif
+
+namespace parapll::fuzz {
+
+inline std::string_view AsView(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+inline std::istringstream AsStream(const std::uint8_t* data,
+                                   std::size_t size) {
+  return std::istringstream(std::string(AsView(data, size)),
+                            std::ios::binary);
+}
+
+// Reports a violated differential / round-trip invariant. Aborting (not
+// throwing) is deliberate: libFuzzer records the input as a crash, and
+// the regression gtest fails loudly, whereas a throw would be mistaken
+// for an ordinary rejection.
+[[noreturn]] inline void Violate(const char* what) {
+  std::fprintf(stderr, "parapll fuzz invariant violated: %s\n", what);
+  std::abort();
+}
+
+}  // namespace parapll::fuzz

@@ -13,6 +13,7 @@ void AppendPod(Payload& out, const T& value) {
   out.insert(out.end(), bytes, bytes + sizeof(T));
 }
 
+// parapll-lint: begin-untrusted-decode
 // Payloads arrive off the fabric and may be truncated or corrupted, so
 // decode failures are recoverable errors, not process aborts.
 template <typename T>
@@ -25,6 +26,7 @@ T TakePod(const Payload& in, std::size_t& pos) {
   pos += sizeof(T);
   return value;
 }
+// parapll-lint: end-untrusted-decode
 
 }  // namespace
 
@@ -44,6 +46,7 @@ Payload EncodeUpdates(double node_clock,
   return out;
 }
 
+// parapll-lint: begin-untrusted-decode
 DecodedUpdates DecodeUpdates(const Payload& payload) {
   constexpr std::size_t kRecordBytes =
       2 * sizeof(graph::VertexId) + sizeof(graph::Distance);
@@ -51,12 +54,11 @@ DecodedUpdates DecodeUpdates(const Payload& payload) {
   std::size_t pos = 0;
   decoded.node_clock = TakePod<double>(payload, pos);
   const auto count = TakePod<std::uint64_t>(payload, pos);
-  // Bound the declared count by the bytes actually present *before*
-  // reserving: a short payload with a huge count must be a decode error,
-  // not a multi-gigabyte allocation.
   if (count > (payload.size() - pos) / kRecordBytes) {
     throw std::runtime_error("wire payload shorter than declared count");
   }
+  // Bounds: the declared count was held to the bytes actually present
+  // just above, so this reserve is payload-proportional.
   decoded.updates.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     LabelUpdate u;
@@ -70,5 +72,6 @@ DecodedUpdates DecodeUpdates(const Payload& payload) {
   }
   return decoded;
 }
+// parapll-lint: end-untrusted-decode
 
 }  // namespace parapll::cluster

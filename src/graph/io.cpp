@@ -1,13 +1,18 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace parapll::graph {
+
+// parapll-lint: begin-untrusted-decode
 
 namespace {
 
@@ -28,24 +33,71 @@ T ReadPod(std::istream& in) {
   return value;
 }
 
+[[noreturn]] void ThrowAtLine(const char* what, std::size_t line_no) {
+  throw std::runtime_error(std::string(what) + " on line " +
+                           std::to_string(line_no));
+}
+
+enum class Field { kEnd, kOk, kBad };
+
+// Parses one strictly-decimal unsigned field starting at `pos`. kEnd when
+// the line has no more fields; kBad on anything that is not an exact
+// decimal integer followed by a separator (signs, "NaN", "2.5", "1e9",
+// u64 overflow). Graph files cross a trust boundary, so a field either
+// parses exactly or the line is an error — never a silent default, a
+// truncated float, or a negative value wrapped through unsigned parsing.
+Field TakeField(const std::string& line, std::size_t& pos,
+                std::uint64_t& out) {
+  while (pos < line.size() &&
+         (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+    ++pos;
+  }
+  if (pos == line.size()) {
+    return Field::kEnd;
+  }
+  const char* begin = line.data() + pos;
+  const char* end = line.data() + line.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr == begin) {
+    return Field::kBad;
+  }
+  // The digits must end at a separator or end-of-line; "123abc" and
+  // "2.5" are malformed fields, not the integer prefix of one.
+  if (ptr != end && *ptr != ' ' && *ptr != '\t' && *ptr != '\r') {
+    return Field::kBad;
+  }
+  pos = static_cast<std::size_t>(ptr - line.data());
+  return Field::kOk;
+}
+
 }  // namespace
 
-Graph ReadEdgeListText(std::istream& in, bool compact_ids) {
+Graph ReadEdgeListText(std::istream& in, bool compact_ids,
+                       VertexId max_vertices) {
   std::vector<Edge> edges;
   std::unordered_map<std::uint64_t, VertexId> remap;
   VertexId next_id = 0;
   std::uint64_t max_raw_id = 0;
   std::uint64_t header_n = 0;
-  auto intern = [&](std::uint64_t raw) -> VertexId {
+  // Every raw id is bounded by the id space and the caller's budget
+  // *before* it can influence the vertex-count allocation in FromEdges.
+  auto intern = [&](std::uint64_t raw, std::size_t line_no) -> VertexId {
     if (!compact_ids) {
+      if (raw >= max_vertices) {
+        ThrowAtLine("vertex id out of range", line_no);
+      }
       max_raw_id = std::max(max_raw_id, raw);
       return static_cast<VertexId>(raw);
     }
-    const auto [it, inserted] = remap.emplace(raw, next_id);
-    if (inserted) {
-      ++next_id;
+    const auto it = remap.find(raw);
+    if (it != remap.end()) {
+      return it->second;
     }
-    return it->second;
+    if (next_id >= max_vertices) {
+      ThrowAtLine("vertex id out of range", line_no);
+    }
+    remap.emplace(raw, next_id);
+    return next_id++;
   };
 
   std::string line;
@@ -54,27 +106,47 @@ Graph ReadEdgeListText(std::istream& in, bool compact_ids) {
     ++line_no;
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') {
-      // Honor an "n=<count>" token so isolated vertices round-trip.
+      // Honor an "n=<count>" token so isolated vertices round-trip. The
+      // declared count sizes the adjacency allocation, so it gets the
+      // same bound as a literal id; non-numeric "n=" text is ignored.
       if (const auto pos = line.find("n="); pos != std::string::npos) {
-        header_n = std::strtoull(line.c_str() + pos + 2, nullptr, 10);
+        std::size_t value_pos = pos + 2;
+        std::uint64_t value = 0;
+        if (TakeField(line, value_pos, value) == Field::kOk) {
+          if (value > max_vertices) {
+            ThrowAtLine("declared vertex count out of range", line_no);
+          }
+          header_n = std::max(header_n, value);
+        }
       }
       continue;
     }
-    std::istringstream fields(line);
+    std::size_t pos = first;
     std::uint64_t raw_u = 0;
     std::uint64_t raw_v = 0;
     std::uint64_t raw_w = 1;
-    if (!(fields >> raw_u >> raw_v)) {
-      throw std::runtime_error("malformed edge on line " +
-                               std::to_string(line_no));
+    if (TakeField(line, pos, raw_u) != Field::kOk ||
+        TakeField(line, pos, raw_v) != Field::kOk) {
+      ThrowAtLine("malformed edge", line_no);
     }
-    fields >> raw_w;  // optional weight column
+    // Optional weight column; extra columns beyond it are ignored for
+    // SNAP-style dumps that carry timestamps or labels.
+    switch (TakeField(line, pos, raw_w)) {
+      case Field::kEnd:
+      case Field::kOk:
+        break;
+      case Field::kBad:
+        ThrowAtLine("malformed weight", line_no);
+    }
     if (raw_w == 0) {
-      throw std::runtime_error("zero weight on line " +
-                               std::to_string(line_no));
+      ThrowAtLine("zero weight", line_no);
     }
-    edges.push_back(
-        Edge{intern(raw_u), intern(raw_v), static_cast<Weight>(raw_w)});
+    if (raw_w > static_cast<std::uint64_t>(
+                    std::numeric_limits<Weight>::max())) {
+      ThrowAtLine("weight out of range", line_no);
+    }
+    edges.push_back(Edge{intern(raw_u, line_no), intern(raw_v, line_no),
+                         static_cast<Weight>(raw_w)});
   }
   VertexId n = compact_ids
                    ? next_id
@@ -83,13 +155,52 @@ Graph ReadEdgeListText(std::istream& in, bool compact_ids) {
   return Graph::FromEdges(n, edges);
 }
 
-Graph ReadEdgeListTextFile(const std::string& path, bool compact_ids) {
+Graph ReadEdgeListTextFile(const std::string& path, bool compact_ids,
+                           VertexId max_vertices) {
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("cannot open " + path);
   }
-  return ReadEdgeListText(in, compact_ids);
+  return ReadEdgeListText(in, compact_ids, max_vertices);
 }
+
+Graph ReadBinary(std::istream& in, VertexId max_vertices) {
+  if (ReadPod<std::uint64_t>(in) != kBinaryMagic) {
+    throw std::runtime_error("bad binary graph magic");
+  }
+  const auto n64 = ReadPod<std::uint64_t>(in);
+  // Bounds: the declared count sizes O(n) adjacency allocations in
+  // FromEdges, so it must fit the id space and the caller's budget
+  // before anything is allocated from it.
+  if (n64 > max_vertices) {
+    throw std::runtime_error("binary graph vertex count out of range");
+  }
+  const auto n = static_cast<VertexId>(n64);
+  const auto m = ReadPod<std::uint64_t>(in);
+  std::vector<Edge> edges;
+  // Bounds: m is attacker-declared; cap the hint and let push_back grow
+  // proportionally to the 12-byte records actually present.
+  edges.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(m, std::uint64_t{1} << 16)));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    Edge e;
+    e.u = ReadPod<VertexId>(in);
+    e.v = ReadPod<VertexId>(in);
+    e.weight = ReadPod<Weight>(in);
+    // FromEdges enforces these with a process-aborting check; a corrupt
+    // file must surface as a recoverable error instead.
+    if (e.u >= n || e.v >= n) {
+      throw std::runtime_error("binary graph edge endpoint out of range");
+    }
+    if (e.weight == 0) {
+      throw std::runtime_error("binary graph zero edge weight");
+    }
+    edges.push_back(e);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+// parapll-lint: end-untrusted-decode
 
 void WriteEdgeListText(const Graph& g, std::ostream& out) {
   out << "# parapll edge list: n=" << g.NumVertices() << " m=" << g.NumEdges()
@@ -119,24 +230,6 @@ void WriteBinary(const Graph& g, std::ostream& out) {
   }
 }
 
-Graph ReadBinary(std::istream& in) {
-  if (ReadPod<std::uint64_t>(in) != kBinaryMagic) {
-    throw std::runtime_error("bad binary graph magic");
-  }
-  const auto n = static_cast<VertexId>(ReadPod<std::uint64_t>(in));
-  const auto m = ReadPod<std::uint64_t>(in);
-  std::vector<Edge> edges;
-  edges.reserve(m);
-  for (std::uint64_t i = 0; i < m; ++i) {
-    Edge e;
-    e.u = ReadPod<VertexId>(in);
-    e.v = ReadPod<VertexId>(in);
-    e.weight = ReadPod<Weight>(in);
-    edges.push_back(e);
-  }
-  return Graph::FromEdges(n, edges);
-}
-
 void WriteBinaryFile(const Graph& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
@@ -145,12 +238,12 @@ void WriteBinaryFile(const Graph& g, const std::string& path) {
   WriteBinary(g, out);
 }
 
-Graph ReadBinaryFile(const std::string& path) {
+Graph ReadBinaryFile(const std::string& path, VertexId max_vertices) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open " + path);
   }
-  return ReadBinary(in);
+  return ReadBinary(in, max_vertices);
 }
 
 }  // namespace parapll::graph

@@ -5,6 +5,15 @@
 //    the weight column is omitted (weight defaults to 1);
 //  * binary — a compact little-endian dump with a magic header, used to
 //    cache generated datasets between bench runs.
+//
+// Both readers treat their bytes as untrusted (files are downloaded,
+// copied, or attacker-supplied): malformed fields, out-of-range vertex
+// ids, zero/negative/non-numeric weights, and truncation all surface as
+// recoverable std::runtime_error — never an abort, a silently truncated
+// id, or an allocation sized by a hostile header. `max_vertices` bounds
+// the vertex count a stream may declare (and therefore the O(n)
+// allocations a parse can trigger); the default admits the full id
+// space, callers parsing adversarial input should pass a budget.
 #pragma once
 
 #include <istream>
@@ -22,9 +31,12 @@ namespace parapll::graph {
 // as written by WriteEdgeListText — this makes the text format round-trip
 // even with trailing isolated vertices). With compact_ids, sparse ids
 // (e.g. raw SNAP dumps) are renumbered densely in first-appearance order.
-// Throws std::runtime_error on malformed input.
-Graph ReadEdgeListText(std::istream& in, bool compact_ids = false);
-Graph ReadEdgeListTextFile(const std::string& path, bool compact_ids = false);
+// Fields must be exact decimal integers; weights must be in
+// [1, max(Weight)]. Throws std::runtime_error on malformed input.
+Graph ReadEdgeListText(std::istream& in, bool compact_ids = false,
+                       VertexId max_vertices = kInvalidVertex);
+Graph ReadEdgeListTextFile(const std::string& path, bool compact_ids = false,
+                           VertexId max_vertices = kInvalidVertex);
 
 // Writes "u v w" lines (u < v), one undirected edge per line.
 void WriteEdgeListText(const Graph& g, std::ostream& out);
@@ -32,10 +44,13 @@ void WriteEdgeListTextFile(const Graph& g, const std::string& path);
 
 // --- binary -----------------------------------------------------------
 
-// Binary round-trip: WriteBinary(g) |> ReadBinary == g.
+// Binary round-trip: WriteBinary(g) |> ReadBinary == g. ReadBinary
+// validates the declared vertex count, every edge endpoint, and every
+// weight before Graph construction.
 void WriteBinary(const Graph& g, std::ostream& out);
-Graph ReadBinary(std::istream& in);
+Graph ReadBinary(std::istream& in, VertexId max_vertices = kInvalidVertex);
 void WriteBinaryFile(const Graph& g, const std::string& path);
-Graph ReadBinaryFile(const std::string& path);
+Graph ReadBinaryFile(const std::string& path,
+                     VertexId max_vertices = kInvalidVertex);
 
 }  // namespace parapll::graph

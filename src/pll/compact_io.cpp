@@ -30,6 +30,7 @@ void WriteVarint(std::ostream& out, std::uint64_t value) {
   out.put(static_cast<char>(value));
 }
 
+// parapll-lint: begin-untrusted-decode
 std::uint64_t ReadVarint(std::istream& in) {
   std::uint64_t value = 0;
   int shift = 0;
@@ -48,6 +49,7 @@ std::uint64_t ReadVarint(std::istream& in) {
     shift += 7;
   }
 }
+// parapll-lint: end-untrusted-decode
 
 void WriteCompact(const LabelStore& store, std::ostream& out) {
   WriteVarint(out, kCompactMagic);
@@ -66,27 +68,46 @@ void WriteCompact(const LabelStore& store, std::ostream& out) {
   }
 }
 
+// parapll-lint: begin-untrusted-decode
 LabelStore ReadCompactStore(std::istream& in) {
   if (ReadVarint(in) != kCompactMagic) {
     throw std::runtime_error("bad compact label store magic");
   }
-  const auto n = static_cast<graph::VertexId>(ReadVarint(in));
-  std::vector<std::vector<LabelEntry>> rows(n);
+  const std::uint64_t n64 = ReadVarint(in);
+  // Bounds: the declared count must fit the id space before it drives
+  // any allocation (kInvalidVertex is the sentinel, so it is excluded).
+  if (n64 >= graph::kInvalidVertex) {
+    throw std::runtime_error("compact store vertex count out of range");
+  }
+  const auto n = static_cast<graph::VertexId>(n64);
+  std::vector<std::vector<LabelEntry>> rows;
+  // Bounds: grow row-by-row — each iteration consumes at least one
+  // stream byte (the row's count varint), so memory stays proportional
+  // to bytes actually present, never to the declared n.
+  rows.reserve(std::min<std::uint64_t>(n64, 4096));
   for (graph::VertexId v = 0; v < n; ++v) {
+    rows.emplace_back();
+    std::vector<LabelEntry>& row = rows.back();
     const auto count = ReadVarint(in);
-    // A corrupted count cannot be trusted for a large up-front reserve —
-    // each claimed entry needs at least 2 stream bytes, so push_back
-    // growth stays bounded by what the stream actually holds.
-    rows[v].reserve(std::min<std::uint64_t>(count, 4096));
-    graph::VertexId hub = 0;
+    // Bounds: a corrupted count cannot be trusted for a large up-front
+    // reserve — each claimed entry needs at least 2 stream bytes, so
+    // push_back growth stays bounded by what the stream actually holds.
+    row.reserve(std::min<std::uint64_t>(count, 4096));
+    std::uint64_t hub = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
-      hub += static_cast<graph::VertexId>(ReadVarint(in));
+      hub += ReadVarint(in);
+      // Accumulate deltas in 64 bits: a hostile delta must not wrap the
+      // 32-bit hub id into a silently different (but valid) label set.
+      if (hub >= graph::kInvalidVertex) {
+        throw std::runtime_error("compact store hub id out of range");
+      }
       const auto dist = ReadVarint(in);
-      rows[v].push_back(LabelEntry{hub, dist});
+      row.push_back(LabelEntry{static_cast<graph::VertexId>(hub), dist});
     }
   }
   return LabelStore::FromRows(std::move(rows));
 }
+// parapll-lint: end-untrusted-decode
 
 void WriteCompactIndex(const Index& index, std::ostream& out) {
   WriteCompact(index.Store(), out);
@@ -95,15 +116,24 @@ void WriteCompactIndex(const Index& index, std::ostream& out) {
   }
 }
 
+// parapll-lint: begin-untrusted-decode
 Index ReadCompactIndex(std::istream& in) {
   LabelStore store = ReadCompactStore(in);
   std::vector<graph::VertexId> order(store.NumVertices());
   for (auto& v : order) {
-    v = static_cast<graph::VertexId>(ReadVarint(in));
+    const std::uint64_t raw = ReadVarint(in);
+    // Reject before the narrowing cast: a 64-bit rank must not alias a
+    // small valid one (ValidateOrderPermutation would see only the
+    // truncated value).
+    if (raw >= store.NumVertices()) {
+      throw std::runtime_error("compact index order entry out of range");
+    }
+    v = static_cast<graph::VertexId>(raw);
   }
   ValidateOrderPermutation(order);
   return Index(std::move(store), std::move(order));
 }
+// parapll-lint: end-untrusted-decode
 
 std::size_t CompactSizeBytes(const LabelStore& store) {
   std::size_t total = VarintSize(kCompactMagic);

@@ -28,6 +28,7 @@ constexpr std::uint64_t AlignUp(std::uint64_t pos, std::uint64_t align) {
   throw std::runtime_error(std::string("index format v2: ") + what);
 }
 
+// parapll-lint: begin-untrusted-decode
 // Structural header validation shared by the stream and mapped loaders.
 // After this returns, every region is in file order, aligned, and all
 // derived sizes fit in 64 bits; `file_bytes` is exactly the end of the
@@ -85,6 +86,7 @@ BuildManifest ParseEmbeddedManifest(const char* bytes, std::size_t len,
   }
   return manifest;
 }
+// parapll-lint: end-untrusted-decode
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -172,6 +174,7 @@ void WriteIndexV2File(const Index& index, const std::string& path) {
   WriteIndexV2(index, out);
 }
 
+// parapll-lint: begin-untrusted-decode
 Index ReadIndexV2(std::istream& in) {
   const std::istream::pos_type base = in.tellg();
   if (base == std::istream::pos_type(-1)) {
@@ -191,7 +194,10 @@ Index ReadIndexV2(std::istream& in) {
     Fail("truncated header");
   }
   ValidateGeometry(h);
-  if (h.file_bytes > available) {
+  // Exact-size check, mirroring ValidateV2Mapping: the two loaders must
+  // agree on accept/reject (modulo hub sortedness, which only the heap
+  // path verifies), so trailing bytes are corruption here too.
+  if (h.file_bytes != available) {
     Fail("file truncated");
   }
 
@@ -233,7 +239,9 @@ Index ReadIndexV2(std::istream& in) {
   index.SetManifest(std::move(manifest));
   return index;
 }
+// parapll-lint: end-untrusted-decode
 
+// parapll-lint: begin-untrusted-decode
 V2View ValidateV2Mapping(const char* data, std::size_t size) {
   if (size < kIndexV2HeaderBytes) {
     Fail("truncated header");
@@ -299,5 +307,6 @@ V2View ValidateV2Mapping(const char* data, std::size_t size) {
   }
   return view;
 }
+// parapll-lint: end-untrusted-decode
 
 }  // namespace parapll::pll

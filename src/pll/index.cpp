@@ -61,6 +61,7 @@ void Index::Save(std::ostream& out) const {
   }
 }
 
+// parapll-lint: begin-untrusted-decode
 Index Index::Load(std::istream& in) {
   // Format dispatch on the leading magic: the mmap-able v2 container gets
   // its own reader (heap materialization with full validation).
@@ -88,6 +89,7 @@ Index Index::Load(std::istream& in) {
   index.SetManifest(std::move(manifest));
   return index;
 }
+// parapll-lint: end-untrusted-decode
 
 void Index::SaveFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);

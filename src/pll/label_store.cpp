@@ -166,6 +166,7 @@ void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
+// parapll-lint: begin-untrusted-decode
 template <typename T>
 T ReadPod(std::istream& in) {
   T value{};
@@ -175,6 +176,7 @@ T ReadPod(std::istream& in) {
   }
   return value;
 }
+// parapll-lint: end-untrusted-decode
 }  // namespace
 
 void LabelStore::Serialize(std::ostream& out) const {
@@ -195,12 +197,18 @@ void LabelStore::Serialize(std::ostream& out) const {
   }
 }
 
+// parapll-lint: begin-untrusted-decode
 LabelStore LabelStore::Deserialize(std::istream& in) {
   if (ReadPod<std::uint64_t>(in) != kLabelMagic) {
     throw std::runtime_error("bad label store magic");
   }
   const auto n = ReadPod<std::uint64_t>(in);
   const auto total = ReadPod<std::uint64_t>(in);
+  // Bounds: the declared count must fit the 32-bit id space; it drives
+  // only byte-for-byte incremental reads below, never a bulk allocation.
+  if (n >= graph::kInvalidVertex) {
+    throw std::runtime_error("label store vertex count out of range");
+  }
 
   // Offsets are read one by one and validated incrementally, so a header
   // advertising an absurd n cannot trigger a huge up-front allocation:
@@ -224,6 +232,8 @@ LabelStore LabelStore::Deserialize(std::istream& in) {
   }
 
   LabelStore store;
+  // Bounds: row_size.size() is the number of offsets actually read from
+  // the stream above (8 bytes each), not the declared n.
   store.offsets_.reserve(row_size.size() + 1);
   store.offsets_.push_back(0);
   for (std::size_t size : row_size) {
@@ -244,5 +254,6 @@ LabelStore LabelStore::Deserialize(std::istream& in) {
   }
   return store;
 }
+// parapll-lint: end-untrusted-decode
 
 }  // namespace parapll::pll

@@ -18,6 +18,7 @@ void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
+// parapll-lint: begin-untrusted-decode
 template <typename T>
 T ReadPod(std::istream& in) {
   T value{};
@@ -27,6 +28,7 @@ T ReadPod(std::istream& in) {
   }
   return value;
 }
+// parapll-lint: end-untrusted-decode
 
 void WriteName(std::ostream& out, const std::string& s) {
   if (s.size() > kMaxNameLength) {
@@ -36,8 +38,10 @@ void WriteName(std::ostream& out, const std::string& s) {
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
+// parapll-lint: begin-untrusted-decode
 std::string ReadName(std::istream& in) {
   const auto size = ReadPod<std::uint32_t>(in);
+  // Bounds: the declared length is capped before it sizes the string.
   if (size > kMaxNameLength) {
     throw std::runtime_error("manifest name field too long");
   }
@@ -48,6 +52,7 @@ std::string ReadName(std::istream& in) {
   }
   return s;
 }
+// parapll-lint: end-untrusted-decode
 
 }  // namespace
 
@@ -95,6 +100,7 @@ void BuildManifest::Serialize(std::ostream& out) const {
   WritePod(out, created_unix);
 }
 
+// parapll-lint: begin-untrusted-decode
 BuildManifest BuildManifest::Deserialize(std::istream& in) {
   if (ReadPod<std::uint64_t>(in) != kManifestMagic) {
     throw std::runtime_error("bad build manifest magic");
@@ -132,6 +138,7 @@ BuildManifest BuildManifest::Deserialize(std::istream& in) {
   m.Validate();
   return m;
 }
+// parapll-lint: end-untrusted-decode
 
 bool BuildManifest::PeekMagic(std::istream& in) {
   const std::istream::pos_type pos = in.tellg();

@@ -20,6 +20,7 @@ void AppendU64(std::string& out, std::uint64_t v) {
   out.append(bytes, sizeof(bytes));
 }
 
+// parapll-lint: begin-untrusted-decode
 std::uint32_t ReadU32(std::string_view bytes, std::size_t pos) {
   std::uint32_t v = 0;
   std::memcpy(&v, bytes.data() + pos, sizeof(v));
@@ -31,6 +32,7 @@ std::uint64_t ReadU64(std::string_view bytes, std::size_t pos) {
   std::memcpy(&v, bytes.data() + pos, sizeof(v));
   return v;
 }
+// parapll-lint: end-untrusted-decode
 
 // Prepends the length prefix once a payload is fully built.
 std::string Framed(std::string payload) {
@@ -59,6 +61,7 @@ void AppendTrace(std::string& payload, std::string_view trace_id) {
   payload.append(trace_id);
 }
 
+// parapll-lint: begin-untrusted-decode
 // Validates and extracts the optional trace block that may follow the
 // fixed body ending at `base`. Declared lengths over the cap and any
 // size mismatch throw *before* anything is copied; the returned id is
@@ -76,6 +79,7 @@ std::string DecodeTrace(std::string_view payload, std::size_t base) {
   }
   return SanitizeTraceId(payload.substr(base + 1, trace_len));
 }
+// parapll-lint: end-untrusted-decode
 
 }  // namespace
 
@@ -158,6 +162,7 @@ std::string EncodeInfoResponse(const ServerInfo& info) {
   return Framed(std::move(payload));
 }
 
+// parapll-lint: begin-untrusted-decode
 Request DecodeRequestPayload(std::string_view payload) {
   if (payload.size() < 5) {
     Fail("request payload shorter than header");
@@ -177,13 +182,13 @@ Request DecodeRequestPayload(std::string_view payload) {
       if (count > kMaxPairsPerRequest) {
         Fail("pair count exceeds kMaxPairsPerRequest");
       }
-      // Full-structure check before the reserve: the allocation below is
-      // bounded by bytes actually delivered, never by the declared count.
       const std::size_t base = 9 + std::size_t{count} * 8;
       if (payload.size() < base) {
         Fail("DISTANCE_QUERY size does not match pair count");
       }
       request.trace_id = DecodeTrace(payload, base);
+      // Bounds: count is capped and the full-structure check above holds
+      // it to bytes actually delivered, never the declared value alone.
       request.pairs.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         const std::size_t at = 9 + std::size_t{i} * 8;
@@ -228,6 +233,8 @@ Response DecodeResponsePayload(std::string_view payload) {
         Fail("OK response size does not match distance count");
       }
       response.trace_id = DecodeTrace(payload, base);
+      // Bounds: count is capped and size-matched against the payload
+      // above, so this reserve is bytes-delivered-proportional.
       response.distances.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         response.distances.push_back(ReadU64(payload, 9 + std::size_t{i} * 8));
@@ -279,5 +286,6 @@ bool FrameReader::Next(std::string& payload) {
   buffer_.erase(0, 4 + std::size_t{declared});
   return true;
 }
+// parapll-lint: end-untrusted-decode
 
 }  // namespace parapll::serve

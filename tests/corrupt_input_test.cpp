@@ -15,8 +15,10 @@
 
 #include "build/pipeline.hpp"
 #include "cluster/wire.hpp"
+#include "corrupt_cases.hpp"
 #include "serve/frame.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 #include "parapll/parallel_indexer.hpp"
 #include "pll/compact_io.hpp"
 #include "pll/format_v2.hpp"
@@ -33,47 +35,19 @@ namespace {
 using pll::LabelEntry;
 using pll::LabelStore;
 
-// Serialized LabelStore layout (all little-endian pods):
-//   [0, 8)                magic "LablSto1"
-//   [8, 16)               n (u64)
-//   [16, 24)              total logical entries (u64)
-//   [24, 24 + 8*(n+1))    logical offsets (u64 each)
-//   then per entry        u32 hub + u64 dist (12 bytes)
-constexpr std::size_t kNField = 8;
-constexpr std::size_t kTotalField = 16;
-constexpr std::size_t kOffsetTable = 24;
-
-pll::Index MakeIndex() {
-  const graph::Graph g =
-      graph::ErdosRenyi(20, 50, {graph::WeightModel::kUniform, 10}, 42);
-  pll::SerialBuildResult result = pll::BuildSerial(g, {});
-  return pll::Index(std::move(result.store), std::move(result.order));
-}
-
-std::string StoreBytes(const LabelStore& store) {
-  std::ostringstream out(std::ios::binary);
-  store.Serialize(out);
-  return out.str();
-}
-
-std::string IndexBytes(const pll::Index& index) {
-  std::ostringstream out(std::ios::binary);
-  index.Save(out);
-  return out.str();
-}
-
-template <typename T>
-void Patch(std::string& bytes, std::size_t pos, T value) {
-  ASSERT_LE(pos + sizeof(T), bytes.size());
-  std::memcpy(bytes.data() + pos, &value, sizeof(T));
-}
-
-template <typename T>
-T Peek(const std::string& bytes, std::size_t pos) {
-  T value{};
-  std::memcpy(&value, bytes.data() + pos, sizeof(T));
-  return value;
-}
+// Builders, byte-surgery helpers, and the serialized-layout offsets all
+// live in corrupt_cases.{hpp,cpp} — one source of truth shared with the
+// fuzz seed corpora (fuzz/export_corpus).
+using corpus::IndexBytes;
+using corpus::MakeIndex;
+using corpus::MakeManifestedIndex;
+using corpus::Patch;
+using corpus::Peek;
+using corpus::StoreBytes;
+using corpus::V2Bytes;
+using corpus::kNField;
+using corpus::kOffsetTable;
+using corpus::kTotalField;
 
 LabelStore DeserializeBytes(const std::string& bytes) {
   std::istringstream in(bytes, std::ios::binary);
@@ -229,9 +203,8 @@ TEST(CorruptCompact, HugeDeclaredRowCountThrows) {
 }
 
 cluster::Payload SamplePayload() {
-  const std::vector<cluster::LabelUpdate> updates = {
-      {1, 0, 7}, {2, 0, 9}, {3, 1, 4}};
-  return cluster::EncodeUpdates(0.5, updates);
+  const std::string bytes = corpus::WirePayloadBytes();
+  return cluster::Payload(bytes.begin(), bytes.end());
 }
 
 TEST(CorruptWire, RoundTripStillDecodes) {
@@ -310,31 +283,11 @@ TEST(Saturation, PrunedDijkstraDoesNotPruneOnWrappedSum) {
 // pre-manifest stream (raw store + order) must still load with default
 // provenance.
 //
-// Serialized manifest layout (see pll/manifest.cpp):
-//   [0, 8)    magic "PPManft1"
-//   [8, 12)   format_version (u32)
-//   [12, 20)  graph_fingerprint (u64)
-//   [20, 28)  num_vertices (u64)
-//   [28, 36)  num_edges (u64)
-//   [36, ...) mode/ordering/policy (u32 length + bytes each)
-//   then      threads/nodes/sync (u32 each), seed (u64), roots_completed
-constexpr std::size_t kManifestVersion = 8;
-constexpr std::size_t kManifestModeLen = 36;
-
-pll::Index MakeManifestedIndex() {
-  const graph::Graph g =
-      graph::ErdosRenyi(24, 60, {graph::WeightModel::kUniform, 10}, 6);
-  return build::Run(g, {}).artifact.index;
-}
-
-// Byte offset of roots_completed, walking the three length-prefixed names.
-std::size_t RootsCursorOffset(const std::string& bytes) {
-  std::size_t pos = kManifestModeLen;
-  for (int name = 0; name < 3; ++name) {
-    pos += sizeof(std::uint32_t) + Peek<std::uint32_t>(bytes, pos);
-  }
-  return pos + 3 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
-}
+// Manifest layout offsets come from corrupt_cases.hpp; they apply to the
+// index container too because a manifested index opens with the manifest.
+using corpus::RootsCursorOffset;
+using corpus::kManifestModeLen;
+using corpus::kManifestVersion;
 
 TEST(CorruptManifest, RoundTripPreservesProvenance) {
   const pll::Index index = MakeManifestedIndex();
@@ -417,23 +370,13 @@ TEST(CorruptManifest, LegacyStreamWithoutManifestStillLoads) {
 // the file). Every corruption must throw from both — except in-row hub
 // order, which is deliberately only the heap loader's job.
 //
-// V2Header layout (pll/format_v2.hpp):
-//   [0, 8)   magic   [8, 12)  version       [12, 16) header_bytes
-//   [16, 24) n       [24, 32) total_entries [32, 40) manifest_pos
-//   [40, 48) manifest_len     [48, 56) order_pos     [56, 64) offsets_pos
-//   [64, 72) entries_pos      [72, 80) file_bytes
-constexpr std::size_t kV2Version = 8;
-constexpr std::size_t kV2NumVertices = 16;
-constexpr std::size_t kV2OrderPos = 48;
-constexpr std::size_t kV2OffsetsPos = 56;
-constexpr std::size_t kV2EntriesPos = 64;
-constexpr std::size_t kV2FileBytes = 72;
-
-std::string V2Bytes(const pll::Index& index) {
-  std::ostringstream out(std::ios::binary);
-  pll::WriteIndexV2(index, out);
-  return out.str();
-}
+// V2Header layout offsets come from corrupt_cases.hpp.
+using corpus::kV2EntriesPos;
+using corpus::kV2FileBytes;
+using corpus::kV2NumVertices;
+using corpus::kV2OffsetsPos;
+using corpus::kV2OrderPos;
+using corpus::kV2Version;
 
 // ValidateV2Mapping demands a 16-byte-aligned base (mmap gives pages);
 // vector<LabelEntry> reproduces that alignment for in-memory corpora.
@@ -575,6 +518,13 @@ TEST(CorruptIndexV2, EmbeddedManifestVertexMismatchThrows) {
   ExpectBothLoadersThrow(bytes);
 }
 
+// The two loaders agree on trailing garbage too: a v2 file is exactly
+// its declared bytes, in the stream reader and the mapping validator.
+TEST(CorruptIndexV2, TrailingBytesThrowFromBothLoaders) {
+  const std::string bytes = V2Bytes(MakeManifestedIndex());
+  ExpectBothLoadersThrow(bytes + '\0');
+}
+
 // The documented split: in-row hub order is the heap loader's check. The
 // mapping validator's O(n) pass accepts the row (memory-safe: sentinel
 // still terminates the merge) while ReadIndexV2 rejects it.
@@ -640,16 +590,8 @@ TEST(CorruptIndexV2, MmapOpenRejectsCorruptFile) {
 //   response = u32 magic | u8 status | body
 // A frame prepends a u32 payload length; tests strip it with substr(4).
 
-std::string DistanceRequestPayload() {
-  const std::vector<query::QueryPair> pairs = {{0, 1}, {2, 3}, {4, 4}};
-  return serve::EncodeDistanceRequest(pairs).substr(4);
-}
-
-std::string OkResponsePayload() {
-  const std::vector<graph::Distance> distances = {7, 0,
-                                                  graph::kInfiniteDistance};
-  return serve::EncodeOkResponse(distances).substr(4);
-}
+using corpus::DistanceRequestPayload;
+using corpus::OkResponsePayload;
 
 TEST(CorruptServeFrame, RequestRoundTripDecodes) {
   const serve::Request request =
@@ -823,6 +765,117 @@ TEST(CorruptServeFrame, DeclaredLengthBombThrows) {
   reader.Append(prefix.data(), prefix.size());
   std::string payload;
   EXPECT_THROW((void)reader.Next(payload), std::runtime_error);
+}
+
+// Text-graph hardening: edge lists are downloaded or user-supplied, so
+// hostile vertex counts, non-numeric / negative / NaN weights, and
+// truncated lines must all be recoverable std::runtime_error — never a
+// silently truncated id, a wrapped weight, or an n-proportional
+// allocation driven by a comment line.
+
+graph::Graph ParseGraphText(const std::string& text,
+                            bool compact_ids = false,
+                            graph::VertexId max_vertices = 1 << 20) {
+  std::istringstream in(text);
+  return graph::ReadEdgeListText(in, compact_ids, max_vertices);
+}
+
+TEST(CorruptGraphText, ValidSampleRoundTrips) {
+  const graph::Graph g = ParseGraphText(corpus::SampleGraphText());
+  EXPECT_EQ(g.NumVertices(), 6u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+
+  std::ostringstream out;
+  graph::WriteEdgeListText(g, out);
+  const graph::Graph again = ParseGraphText(out.str());
+  EXPECT_EQ(again.NumVertices(), g.NumVertices());
+  EXPECT_EQ(again.NumEdges(), g.NumEdges());
+}
+
+TEST(CorruptGraphText, MalformedFieldsThrow) {
+  for (const char* text :
+       {"0\n",          // missing endpoint
+        "0 x 3\n",      // non-numeric id
+        "0 1 NaN\n",    // NaN weight
+        "0 1 -5\n",     // negative weight (must not wrap to huge)
+        "0 1 2.5\n",    // float weight (must not truncate to 2)
+        "0 1 1e9\n",    // exponent form
+        "0 1x 3\n"}) {  // digits glued to garbage
+    EXPECT_THROW((void)ParseGraphText(text), std::runtime_error) << text;
+  }
+}
+
+TEST(CorruptGraphText, ZeroAndOverflowWeightsThrow) {
+  EXPECT_THROW((void)ParseGraphText("0 1 0\n"), std::runtime_error);
+  // Weight > 32-bit: rejected, not truncated.
+  EXPECT_THROW((void)ParseGraphText("0 1 99999999999\n"), std::runtime_error);
+}
+
+// A hostile vertex id (or header count) must be rejected at the budget,
+// not silently truncated to 32 bits or turned into an O(n) allocation.
+TEST(CorruptGraphText, HostileVertexCountsThrow) {
+  EXPECT_THROW((void)ParseGraphText("0 18446744073709551615\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)ParseGraphText("0 4294967296 1\n"), std::runtime_error);
+  EXPECT_THROW((void)ParseGraphText("# n=18446744073709551615\n0 1 2\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)ParseGraphText("0 2000000 1\n"),  // over the budget
+               std::runtime_error);
+  // compact_ids renumbers, so a sparse huge literal id is fine...
+  const graph::Graph g = ParseGraphText("7 4000000000 2\n", true);
+  EXPECT_EQ(g.NumVertices(), 2u);
+  // ...but the number of *distinct* ids is still budgeted.
+  EXPECT_THROW((void)ParseGraphText("0 1\n1 2\n2 3\n", true, 2),
+               std::runtime_error);
+}
+
+TEST(CorruptGraphText, HeaderCountWithinBudgetStillRoundTrips) {
+  const graph::Graph g = ParseGraphText("# n=10\n0 1 2\n");
+  EXPECT_EQ(g.NumVertices(), 10u);
+  // Non-numeric "n=" text in a comment is ignored, not an error.
+  EXPECT_EQ(ParseGraphText("# n=many vertices\n0 1 2\n").NumVertices(), 2u);
+}
+
+// Binary graph hardening: the same discipline for the cached-dataset
+// format — declared counts are budgeted, endpoints and weights are
+// validated before Graph construction can abort the process.
+TEST(CorruptGraphBinary, CorruptionsThrow) {
+  const graph::Graph g = ParseGraphText(corpus::SampleGraphText());
+  std::ostringstream out(std::ios::binary);
+  graph::WriteBinary(g, out);
+  const std::string bytes = out.str();
+
+  const auto read = [](const std::string& data) {
+    std::istringstream in(data, std::ios::binary);
+    return graph::ReadBinary(in, 1 << 20);
+  };
+  EXPECT_EQ(read(bytes).NumEdges(), g.NumEdges());
+
+  for (std::size_t len = 0; len < bytes.size(); len += 3) {
+    EXPECT_THROW((void)read(bytes.substr(0, len)), std::runtime_error)
+        << "binary prefix of " << len << " bytes parsed";
+  }
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0x5a;
+  EXPECT_THROW((void)read(bad_magic), std::runtime_error);
+
+  std::string huge_n = bytes;
+  Patch<std::uint64_t>(huge_n, 8, std::uint64_t{1} << 56);
+  EXPECT_THROW((void)read(huge_n), std::runtime_error);
+
+  std::string huge_m = bytes;
+  Patch<std::uint64_t>(huge_m, 16, std::uint64_t{1} << 56);
+  EXPECT_THROW((void)read(huge_m), std::runtime_error);
+
+  // First edge's endpoint pushed out of [0, n): must throw, not abort.
+  std::string bad_endpoint = bytes;
+  Patch<graph::VertexId>(bad_endpoint, 24, g.NumVertices() + 9);
+  EXPECT_THROW((void)read(bad_endpoint), std::runtime_error);
+
+  // First edge's weight zeroed: must throw, not abort.
+  std::string zero_weight = bytes;
+  Patch<graph::Weight>(zero_weight, 24 + 8, 0);
+  EXPECT_THROW((void)read(zero_weight), std::runtime_error);
 }
 
 // Worker scratch construction is O(|V|) and happens before the first root

@@ -1,0 +1,19 @@
+// Fixture: reserve sized from a decoded count with no bounds-check
+// comment anywhere near it.
+#include <istream>
+#include <vector>
+
+namespace parapll::pll {
+
+// parapll-lint: begin-untrusted-decode
+std::vector<int> ReadRows(std::istream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+
+  std::vector<int> rows;
+  rows.reserve(n);
+  return rows;
+}
+// parapll-lint: end-untrusted-decode
+
+}  // namespace parapll::pll

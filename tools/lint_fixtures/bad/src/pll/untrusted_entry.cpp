@@ -1,0 +1,28 @@
+// Fixture: a decoder-shaped definition taking untrusted bytes, outside
+// any untrusted-decode region.
+#include <cstdint>
+#include <istream>
+#include <string_view>
+
+namespace parapll::pll {
+
+struct Header {
+  std::uint64_t magic = 0;
+};
+
+Header DecodeHeader(std::string_view bytes) {
+  Header h;
+  if (bytes.size() >= sizeof(h.magic)) {
+    h.magic = static_cast<std::uint8_t>(bytes[0]);
+  }
+  return h;
+}
+
+// A declaration (no body) must not be flagged, even multi-line.
+Header ReadHeader(std::istream& in,
+                  bool strict = false);
+
+// A writer is not a decoder.
+void WriteHeader(std::ostream& out, const Header& h);
+
+}  // namespace parapll::pll

@@ -1,0 +1,12 @@
+// Fixture: unbalanced untrusted-decode markers — a dangling end and a
+// begin that is never closed.
+#include <istream>
+
+namespace parapll::pll {
+
+// parapll-lint: end-untrusted-decode
+
+// parapll-lint: begin-untrusted-decode
+inline int ReadByte(std::istream& in) { return in.get(); }
+
+}  // namespace parapll::pll

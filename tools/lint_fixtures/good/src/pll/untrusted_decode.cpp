@@ -1,0 +1,35 @@
+// Fixture: the untrusted-decode discipline done right — a marked region
+// whose allocations carry bounds justifications, decoder entry points
+// inside the region, and writers outside it.
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace parapll::pll {
+
+// parapll-lint: begin-untrusted-decode
+std::vector<int> ReadRows(std::istream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+
+  std::vector<int> rows;
+  // Bounds: the declared count is capped, so growth stays proportional
+  // to bytes actually present.
+  rows.reserve(std::min<std::uint64_t>(n, 4096));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rows.push_back(in.get());
+  }
+  rows.resize(rows.size());  // bounds: already materialized, no growth
+  return rows;
+}
+// parapll-lint: end-untrusted-decode
+
+void WriteRows(std::ostream& out, const std::vector<int>& rows) {
+  for (int row : rows) {
+    out.put(static_cast<char>(row));
+  }
+}
+
+}  // namespace parapll::pll

@@ -39,6 +39,26 @@ signal-context-banned-call
     no exceptions, no `backtrace_symbols` (it allocates — symbolize on
     drain instead). Unbalanced markers are themselves findings.
 
+untrusted-decode-alloc
+    Inside a `// parapll-lint: begin-untrusted-decode` /
+    `end-untrusted-decode` region (code that parses attacker-supplied
+    bytes), every `reserve` / `resize` / `new[]` must carry a
+    bounds-justification comment — on the same line or within the three
+    lines above it — saying why the size cannot be driven by a hostile
+    declared count (capped, held to bytes actually present, etc.).
+
+untrusted-decode-entry
+    A decoder-shaped function definition (`Deserialize` / `Decode*` /
+    `Read*` / `Parse*` / `Validate*` taking a stream, string_view, raw
+    byte pointer, or wire Payload) in src/ outside any
+    untrusted-decode region. New decoders must opt into the discipline
+    by marking the region. Allowlisted exception: src/obs/profiler.cpp
+    (parses its own process's backtrace output, not foreign bytes).
+
+untrusted-decode-markers
+    Unbalanced begin/end-untrusted-decode markers (nested begin,
+    dangling end, begin never closed).
+
 Usage
 -----
     tools/parapll_lint.py [--root DIR] [--json] [files...]
@@ -124,6 +144,39 @@ HOT_BANNED_TOKENS = (
 
 SIGNAL_BEGIN_MARKER = "parapll-lint: begin-signal-context"
 SIGNAL_END_MARKER = "parapll-lint: end-signal-context"
+
+UNTRUSTED_BEGIN_MARKER = "parapll-lint: begin-untrusted-decode"
+UNTRUSTED_END_MARKER = "parapll-lint: end-untrusted-decode"
+
+# Decoders that parse bytes the process produced itself rather than
+# foreign input (profiler: backtrace_symbols output on drain).
+UNTRUSTED_ENTRY_ALLOWLIST = {
+    "src/obs/profiler.cpp",
+}
+
+# An allocation whose size could come from a decoded count.
+UNTRUSTED_ALLOC_RE = re.compile(
+    r"\.\s*(reserve|resize)\s*\(|\bnew\b\s*(?:\([^)]*\))?\s*[\w:<>, ]*\["
+)
+
+# A bounds justification: the comment must say why the size is safe.
+BOUNDS_COMMENT_RE = re.compile(
+    r"(?i)bound|cap|limit|check|valid|proportional|exact|fit|held"
+)
+
+# A decoder-shaped name: the conventional entry-point spellings for code
+# that turns untrusted bytes into structures.
+UNTRUSTED_ENTRY_NAME_RE = re.compile(
+    r"\b(?:[A-Za-z_]\w*::)?"
+    r"(Deserialize|Decode[A-Z]\w*|Read[A-Z]\w*|Parse[A-Z]\w*|Validate[A-Z]\w*)"
+    r"\s*\("
+)
+
+# Parameter types that mark the input as raw bytes from outside.
+UNTRUSTED_PARAM_RE = re.compile(
+    r"std::istream\s*&|std::string_view|const\s+char\s*\*"
+    r"|const\s+std::uint8_t\s*\*|Payload\s*&"
+)
 # Constructs that are not async-signal-safe. `new` / `delete` are caught
 # separately via NAKED_NEW_RE because signal-context files are usually on
 # the naked-new allowlist (leaked singletons elsewhere in the file).
@@ -170,6 +223,7 @@ class SourceLine:
     raw: str   # the line as written
     code: str  # comments and string/char literals blanked out
     has_comment: bool
+    comment: str  # text of any comment(s) on this line
 
 
 def strip_line_states(text: str) -> list[SourceLine]:
@@ -181,6 +235,7 @@ def strip_line_states(text: str) -> list[SourceLine]:
     """
     lines: list[SourceLine] = []
     code_chars: list[str] = []
+    comment_chars: list[str] = []
     comment_here = False
     state = "code"  # code | line_comment | block_comment | string | char
     i = 0
@@ -191,9 +246,15 @@ def strip_line_states(text: str) -> list[SourceLine]:
             raw_start = sum(len(l.raw) + 1 for l in lines)
             raw = text[raw_start : i if i < len(text) else len(text)]
             lines.append(
-                SourceLine("".join([raw]), "".join(code_chars), comment_here)
+                SourceLine(
+                    "".join([raw]),
+                    "".join(code_chars),
+                    comment_here,
+                    "".join(comment_chars),
+                )
             )
             code_chars = []
+            comment_chars = []
             # A // comment dies with its line; only a /* */ comment makes
             # the next line start inside a comment.
             comment_here = state == "block_comment"
@@ -234,12 +295,13 @@ def strip_line_states(text: str) -> list[SourceLine]:
                 continue
             code_chars.append(ch)
         elif state == "line_comment":
-            pass
+            comment_chars.append(ch)
         elif state == "block_comment":
             if ch == "*" and nxt == "/":
                 state = "code"
                 i += 2
                 continue
+            comment_chars.append(ch)
         elif state == "string":
             if ch == "\\":
                 i += 2
@@ -446,6 +508,142 @@ def check_signal_context(rel: str, lines: list[SourceLine]) -> list[Finding]:
     return out
 
 
+def _untrusted_regions(
+    rel: str, lines: list[SourceLine]
+) -> tuple[list[tuple[int, int]], list[Finding]]:
+    """Marker regions as (begin, end) line ranges, plus balance findings.
+
+    An unclosed begin extends to end-of-file so code after it is still
+    checked rather than silently skipped.
+    """
+    regions: list[tuple[int, int]] = []
+    findings: list[Finding] = []
+    begin_line = 0
+    for idx, line in enumerate(lines, start=1):
+        if UNTRUSTED_BEGIN_MARKER in line.raw:
+            if begin_line:
+                findings.append(
+                    Finding(
+                        rel,
+                        idx,
+                        "untrusted-decode-markers",
+                        "nested begin-untrusted-decode marker (previous "
+                        f"region opened on line {begin_line})",
+                    )
+                )
+            else:
+                begin_line = idx
+            continue
+        if UNTRUSTED_END_MARKER in line.raw:
+            if not begin_line:
+                findings.append(
+                    Finding(
+                        rel,
+                        idx,
+                        "untrusted-decode-markers",
+                        "end-untrusted-decode marker without a matching "
+                        "begin",
+                    )
+                )
+            else:
+                regions.append((begin_line, idx))
+                begin_line = 0
+    if begin_line:
+        findings.append(
+            Finding(
+                rel,
+                begin_line,
+                "untrusted-decode-markers",
+                "begin-untrusted-decode marker never closed",
+            )
+        )
+        regions.append((begin_line, len(lines)))
+    return regions, findings
+
+
+def check_untrusted_decode(rel: str, lines: list[SourceLine]) -> list[Finding]:
+    regions, out = _untrusted_regions(rel, lines)
+
+    def in_region(idx: int) -> bool:
+        return any(lo <= idx <= hi for lo, hi in regions)
+
+    # Allocations inside a decode region need a bounds justification on
+    # the same line or within the comment window above — same shape as
+    # memory-order-justification.
+    for idx, line in enumerate(lines, start=1):
+        if not in_region(idx):
+            continue
+        m = UNTRUSTED_ALLOC_RE.search(line.code)
+        if not m:
+            continue
+        justified = bool(BOUNDS_COMMENT_RE.search(line.comment))
+        lo = max(0, idx - 1 - COMMENT_JUSTIFICATION_WINDOW)
+        for prev in lines[lo : idx - 1]:
+            if BOUNDS_COMMENT_RE.search(prev.comment):
+                justified = True
+                break
+        if not justified:
+            out.append(
+                Finding(
+                    rel,
+                    idx,
+                    "untrusted-decode-alloc",
+                    "allocation in an untrusted-decode region without a "
+                    "bounds-check comment on the same line or within "
+                    f"{COMMENT_JUSTIFICATION_WINDOW} lines above: say why "
+                    "the size cannot be driven by a hostile declared count",
+                )
+            )
+
+    # Decoder-shaped definitions outside any region must opt in. Only
+    # src/ is held to this; tests and tools parse trusted fixtures.
+    if not rel.startswith("src/") or rel in UNTRUSTED_ENTRY_ALLOWLIST:
+        return out
+    for idx, line in enumerate(lines, start=1):
+        if in_region(idx):
+            continue
+        m = UNTRUSTED_ENTRY_NAME_RE.search(line.code)
+        if m is None:
+            continue
+        # Distinguish a definition from a declaration or a call: scan
+        # forward from the match for whichever of `{` / `;` comes first.
+        tail = line.code[m.start():]
+        terminator = ""
+        for look in range(idx, min(idx + 10, len(lines) + 1)):
+            text = tail if look == idx else lines[look - 1].code
+            tail_brace = text.find("{")
+            tail_semi = text.find(";")
+            if tail_brace >= 0 and (tail_semi < 0 or tail_brace < tail_semi):
+                terminator = "{"
+            elif tail_semi >= 0:
+                terminator = ";"
+            if terminator:
+                break
+        if terminator != "{":
+            continue
+        # Only flag decoders of raw outside bytes: the signature (same
+        # forward window) must take a stream / view / byte pointer.
+        signature = " ".join(
+            (tail if look == idx else lines[look - 1].code)
+            for look in range(idx, min(idx + 10, len(lines) + 1))
+        )
+        if not UNTRUSTED_PARAM_RE.search(signature.split("{")[0]):
+            continue
+        out.append(
+            Finding(
+                rel,
+                idx,
+                "untrusted-decode-entry",
+                f"decoder-shaped definition `{m.group(1)}` outside an "
+                "untrusted-decode region: wrap it in "
+                "`// parapll-lint: begin-untrusted-decode` / "
+                "`end-untrusted-decode` markers (or allowlist it if its "
+                "input is process-internal)",
+            )
+        )
+    return out
+
+
 RULES = (
     check_naked_new,
     check_memory_order,
@@ -453,6 +651,7 @@ RULES = (
     check_include_hygiene,
     check_hot_path,
     check_signal_context,
+    check_untrusted_decode,
 )
 
 

@@ -39,11 +39,15 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
   exit 2
 fi
 
-# Project sources only: skip the build tree and third-party content.
+# Project sources only: skip the build tree, third-party content, and
+# fuzz/ — the harnesses there define extern "C" LLVMFuzzerTestOneInput
+# entry points (no prototype, by libFuzzer contract) and export_corpus is
+# a throwaway tool; the decoders they exercise are all under src/.
 mapfile -t sources < <(
   find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
        "$repo_root/examples" "$repo_root/tools" \
-       -name '*.cpp' -not -path '*/lint_fixtures/*' | sort
+       -name '*.cpp' -not -path '*/lint_fixtures/*' -not -path '*/fuzz/*' \
+       | sort
 )
 
 if [ "${#sources[@]}" -eq 0 ]; then
